@@ -1,0 +1,64 @@
+// Command neo-datagen generates one of the synthetic databases and prints a
+// summary of its tables, plus (optionally) a sample workload, so users can
+// inspect what the experiments run against.
+//
+// Usage:
+//
+//	neo-datagen -dataset imdb -scale 1.0
+//	neo-datagen -dataset corp -queries 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neo/internal/datagen"
+	"neo/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "imdb", "dataset profile: imdb, tpch or corp")
+		scale   = flag.Float64("scale", 1.0, "scale factor")
+		seed    = flag.Int64("seed", 42, "random seed")
+		queries = flag.Int("queries", 3, "print this many sample workload queries")
+	)
+	flag.Parse()
+
+	db, err := datagen.Generate(datagen.Profile(*dataset), datagen.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s (scale %.2f, seed %d): %d rows, ~%.2f MB\n\n",
+		*dataset, *scale, *seed, db.TotalRows(), float64(db.ApproxSizeBytes())/(1024*1024))
+	fmt.Printf("%-18s %10s %10s\n", "table", "rows", "columns")
+	for _, t := range db.Catalog.Tables() {
+		fmt.Printf("%-18s %10d %10d\n", t.Name, db.Table(t.Name).NumRows(), len(t.Columns))
+	}
+	fmt.Printf("\nforeign keys: %d, secondary indexes: %d\n", len(db.Catalog.ForeignKeys()), len(db.Catalog.Indexes()))
+
+	if *queries > 0 {
+		var wl *workload.Workload
+		switch *dataset {
+		case "tpch":
+			wl, err = workload.TPCH(db, *queries, *seed)
+		case "corp":
+			wl, err = workload.Corp(db, *queries, *seed)
+		default:
+			wl, err = workload.JOB(db, *queries, *seed)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsample workload queries:\n")
+		for _, q := range wl.Queries {
+			fmt.Printf("  -- %s\n  %s\n", q.ID, q.SQL())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neo-datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command neo is an end-to-end demonstration of the learned optimizer: it
+// assembles a synthetic database and a simulated engine, bootstraps Neo from
+// the PostgreSQL-profile expert, refines it for a few episodes, and prints a
+// per-query comparison against the engine's native optimizer.
+//
+// Usage:
+//
+//	neo -dataset imdb -engine postgres -episodes 10 -queries 30
+//	neo -dataset corp -engine engine-m -encoding histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neo/pkg/neo"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "imdb", "synthetic dataset: imdb, tpch or corp")
+		engineName = flag.String("engine", "postgres", "simulated engine: postgres, sqlite, engine-m or engine-o")
+		encoding   = flag.String("encoding", "r-vector", "featurization: 1-hot, histogram, r-vector, r-vector-nojoins")
+		episodes   = flag.Int("episodes", 8, "refinement episodes after bootstrapping")
+		queries    = flag.Int("queries", 24, "number of workload queries to generate")
+		scale      = flag.Float64("scale", 0.4, "synthetic data scale factor")
+		seed       = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	sys, err := neo.Open(neo.Config{
+		Dataset:  *dataset,
+		Engine:   *engineName,
+		Encoding: neo.Encoding(*encoding),
+		Scale:    *scale,
+		Seed:     *seed,
+		Episodes: *episodes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset=%s engine=%s encoding=%s rows=%d\n", *dataset, *engineName, *encoding, sys.DB.TotalRows())
+
+	wl, err := sys.GenerateWorkload(*queries)
+	if err != nil {
+		fatal(err)
+	}
+	train, test := wl.Split(0.8, *seed)
+	fmt.Printf("workload: %d training / %d test queries\n", len(train), len(test))
+
+	fmt.Println("bootstrapping from the PostgreSQL-profile expert ...")
+	if err := sys.Bootstrap(train); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("refining for %d episodes ...\n", *episodes)
+	stats, err := sys.Train(train)
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range stats {
+		fmt.Printf("  episode %2d: normalized latency %.3f (1.0 = expert bootstrap)\n", s.Episode, s.NormalizedLatency)
+	}
+
+	fmt.Println("\nheld-out test queries (latencies in simulated ms):")
+	fmt.Printf("%-14s %12s %12s %9s\n", "query", "neo", "native", "neo/native")
+	var neoTotal, nativeTotal float64
+	for _, q := range test {
+		neoLat, nativeLat, err := sys.Compare(q)
+		if err != nil {
+			fatal(err)
+		}
+		neoTotal += neoLat
+		nativeTotal += nativeLat
+		fmt.Printf("%-14s %12.2f %12.2f %9.2f\n", q.ID, neoLat, nativeLat, neoLat/nativeLat)
+	}
+	fmt.Printf("%-14s %12.2f %12.2f %9.2f\n", "TOTAL", neoTotal, nativeTotal, neoTotal/nativeTotal)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neo:", err)
+	os.Exit(1)
+}

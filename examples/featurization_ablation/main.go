@@ -1,0 +1,62 @@
+// Featurization ablation: a miniature version of the paper's Figure 12.
+//
+// Neo supports three increasingly powerful predicate featurizations — 1-Hot
+// (which attributes are predicated), Histogram (their estimated
+// selectivities) and R-Vector (learned row-vector embeddings, with and
+// without partial denormalisation). This example trains one Neo instance per
+// encoding on the same workload and engine, and compares the held-out
+// latency relative to the engine's native optimizer.
+//
+// Run with:
+//
+//	go run ./examples/featurization_ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neo/pkg/neo"
+)
+
+func main() {
+	encodings := []neo.Encoding{neo.RVector, neo.RVectorNoJoins, neo.Histogram, neo.OneHot}
+	fmt.Println("featurization ablation on the IMDB-like workload (postgres engine)")
+	fmt.Printf("%-22s %14s\n", "encoding", "neo/native")
+
+	for _, enc := range encodings {
+		sys, err := neo.Open(neo.Config{
+			Dataset:  "imdb",
+			Engine:   "postgres",
+			Encoding: enc,
+			Scale:    0.25,
+			Seed:     42,
+			Episodes: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wl, err := sys.GenerateWorkload(16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train, test := wl.Split(0.8, 1)
+		if err := sys.Bootstrap(train); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Train(train); err != nil {
+			log.Fatal(err)
+		}
+		var neoTotal, nativeTotal float64
+		for _, q := range test {
+			neoLat, nativeLat, err := sys.Compare(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			neoTotal += neoLat
+			nativeTotal += nativeLat
+		}
+		fmt.Printf("%-22s %14.3f\n", enc, neoTotal/nativeTotal)
+	}
+	fmt.Println("\npaper shape (Figure 12): R-Vector <= R-Vector(no joins) <= Histogram <= 1-Hot")
+}

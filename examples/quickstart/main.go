@@ -1,0 +1,75 @@
+// Quickstart: assemble a Neo system over the correlated IMDB-like database,
+// bootstrap it from the PostgreSQL-profile expert optimizer, refine it for a
+// few reinforcement-learning episodes, and compare its plans against the
+// engine's native optimizer on held-out queries.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neo/pkg/neo"
+)
+
+func main() {
+	// Open assembles the whole substrate: synthetic database, statistics,
+	// row-vector embedding, simulated engine, classical optimizers and an
+	// untrained Neo.
+	sys, err := neo.Open(neo.Config{
+		Dataset:  "imdb",
+		Engine:   "postgres",
+		Encoding: neo.RVector,
+		Scale:    0.3,
+		Seed:     42,
+		Episodes: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database ready: %d rows across %d tables\n", sys.DB.TotalRows(), sys.Catalog.NumRelations())
+
+	// A representative sample workload, split 80/20 as in the paper.
+	wl, err := sys.GenerateWorkload(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := wl.Split(0.8, 1)
+	fmt.Printf("workload: %d training queries, %d held-out queries\n", len(train), len(test))
+
+	// Phase 1 (Expertise Collection + Model Building): execute the expert's
+	// plans and train the value network on the resulting experience.
+	fmt.Println("bootstrapping from the expert optimizer ...")
+	if err := sys.Bootstrap(train); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 2 (Model Refinement): each episode, Neo plans every training
+	// query with its value network + best-first search, executes the plans,
+	// and learns from the observed latencies.
+	fmt.Println("refining ...")
+	episodes, err := sys.Train(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ep := range episodes {
+		fmt.Printf("  episode %d: normalized latency %.3f\n", ep.Episode, ep.NormalizedLatency)
+	}
+
+	// Held-out comparison against the engine's native optimizer.
+	fmt.Println("\nheld-out queries (simulated ms):")
+	var neoTotal, nativeTotal float64
+	for _, q := range test {
+		neoLat, nativeLat, err := sys.Compare(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		neoTotal += neoLat
+		nativeTotal += nativeLat
+		fmt.Printf("  %-12s neo=%8.2f native=%8.2f\n", q.ID, neoLat, nativeLat)
+	}
+	fmt.Printf("\nrelative performance (neo/native, lower is better): %.3f\n", neoTotal/nativeTotal)
+}

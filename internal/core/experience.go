@@ -1,0 +1,115 @@
+// Package core implements Neo itself: the experience store, the
+// learning-from-demonstration bootstrap, the episodic reinforcement-learning
+// refinement loop, and the glue between featurization, the value network and
+// the DNN-guided plan search (Section 2 of the paper).
+package core
+
+import (
+	"math"
+	"sync"
+
+	"neo/internal/plan"
+	"neo/internal/query"
+)
+
+// Entry is one element of Neo's experience: a complete execution plan for a
+// query together with its observed latency on the target engine.
+type Entry struct {
+	Query   *query.Query
+	Plan    *plan.Plan
+	Latency float64
+}
+
+// Experience is the set of executed plans Neo learns from (E in the paper).
+type Experience struct {
+	mu      sync.RWMutex
+	entries []Entry
+	byQuery map[string][]int
+	best    map[string]float64 // best latency seen per query
+}
+
+// NewExperience creates an empty experience store.
+func NewExperience() *Experience {
+	return &Experience{byQuery: make(map[string][]int), best: make(map[string]float64)}
+}
+
+// Add records a plan/latency pair.
+func (e *Experience) Add(q *query.Query, p *plan.Plan, latency float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.entries = append(e.entries, Entry{Query: q, Plan: p, Latency: latency})
+	e.byQuery[q.ID] = append(e.byQuery[q.ID], len(e.entries)-1)
+	if best, ok := e.best[q.ID]; !ok || latency < best {
+		e.best[q.ID] = latency
+	}
+}
+
+// Len returns the number of stored entries.
+func (e *Experience) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.entries)
+}
+
+// Entries returns a copy of all stored entries.
+func (e *Experience) Entries() []Entry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]Entry, len(e.entries))
+	copy(out, e.entries)
+	return out
+}
+
+// ForQuery returns the entries recorded for one query.
+func (e *Experience) ForQuery(id string) []Entry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []Entry
+	for _, i := range e.byQuery[id] {
+		out = append(out, e.entries[i])
+	}
+	return out
+}
+
+// BestLatency returns the lowest latency observed for a query and whether
+// any entry exists.
+func (e *Experience) BestLatency(id string) (float64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v, ok := e.best[id]
+	return v, ok
+}
+
+// Queries returns the distinct query IDs present in the experience.
+func (e *Experience) Queries() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.byQuery))
+	for id := range e.byQuery {
+		out = append(out, id)
+	}
+	return out
+}
+
+// MinCostContaining returns min{C(Pf) | Pi ⊂ Pf ∧ Pf ∈ E} — the training
+// target of the value network (Section 4) — where the cost of an entry is
+// produced by the supplied cost function. The boolean reports whether any
+// containing plan exists.
+func (e *Experience) MinCostContaining(pi *plan.Plan, cost func(Entry) float64) (float64, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	best := math.Inf(1)
+	found := false
+	for _, idx := range e.byQuery[pi.Query.ID] {
+		entry := e.entries[idx]
+		if !pi.IsSubplanOf(entry.Plan) {
+			continue
+		}
+		c := cost(entry)
+		if c < best {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}

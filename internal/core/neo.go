@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"neo/internal/engine"
+	"neo/internal/feature"
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/search"
+	"neo/internal/treeconv"
+	"neo/internal/valuenet"
+)
+
+// CostFunction selects what the value network minimises (Section 4 /
+// Section 6.4.4 of the paper).
+type CostFunction int
+
+const (
+	// WorkloadCost minimises total latency across the workload:
+	// C(Pf) = L(Pf).
+	WorkloadCost CostFunction = iota
+	// RelativeCost minimises latency relative to a per-query baseline:
+	// C(Pf) = L(Pf) / Base(q), penalising regressions on individual queries.
+	RelativeCost
+)
+
+// String implements fmt.Stringer.
+func (c CostFunction) String() string {
+	if c == RelativeCost {
+		return "relative"
+	}
+	return "workload"
+}
+
+// Config holds Neo's hyperparameters.
+type Config struct {
+	// ValueNet configures the value-network architecture.
+	ValueNet valuenet.Config
+	// SearchExpansions is the node-expansion budget of the plan search
+	// (the analogue of the paper's 250 ms cutoff).
+	SearchExpansions int
+	// TrainEpochs is the number of passes over the training samples per
+	// retraining round.
+	TrainEpochs int
+	// BatchSize is the minibatch size.
+	BatchSize int
+	// MaxTrainSamples caps the number of training samples used per
+	// retraining round (a uniform subsample is taken when the experience
+	// grows beyond it). Zero means no cap.
+	MaxTrainSamples int
+	// Cost selects the optimisation objective.
+	Cost CostFunction
+	// Seed seeds plan-search tie-breaking and minibatch shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		ValueNet:         valuenet.DefaultConfig(),
+		SearchExpansions: 256,
+		TrainEpochs:      10,
+		BatchSize:        16,
+		MaxTrainSamples:  3000,
+		Cost:             WorkloadCost,
+		Seed:             1,
+	}
+}
+
+// Neo is the learned optimizer: it featurizes queries, maintains experience,
+// trains the value network, and searches for plans with it.
+type Neo struct {
+	Engine     *engine.Engine
+	Featurizer *feature.Featurizer
+	Net        *valuenet.Network
+	Experience *Experience
+	Config     Config
+
+	rng *rand.Rand
+	// Baseline latencies per query (used by RelativeCost and by the
+	// normalised-latency metrics the figures report).
+	baseline map[string]float64
+	// queryEncCache caches query-level encodings (they never change).
+	queryEncCache map[string][]float64
+	// Accumulated wall-clock time spent training the network, used by the
+	// Figure 11 training-time breakdown.
+	trainTime time.Duration
+}
+
+// New creates a Neo instance bound to a target engine and featurizer.
+func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
+	if cfg.SearchExpansions == 0 {
+		cfg = DefaultConfig()
+	}
+	net := valuenet.New(feat.QueryVectorSize(), feat.PlanVectorSize(), cfg.ValueNet)
+	return &Neo{
+		Engine:        eng,
+		Featurizer:    feat,
+		Net:           net,
+		Experience:    NewExperience(),
+		Config:        cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		baseline:      make(map[string]float64),
+		queryEncCache: make(map[string][]float64),
+	}
+}
+
+// TrainingTime returns the cumulative wall-clock time spent training the
+// value network.
+func (n *Neo) TrainingTime() time.Duration { return n.trainTime }
+
+// SetBaseline records the per-query baseline latencies used by the
+// RelativeCost objective and by normalised reporting (typically the latency
+// of the expert's plan on the target engine).
+func (n *Neo) SetBaseline(id string, latency float64) {
+	if latency > 0 {
+		n.baseline[id] = latency
+	}
+}
+
+// Baseline returns the baseline latency for a query (and whether one is set).
+func (n *Neo) Baseline(id string) (float64, bool) {
+	v, ok := n.baseline[id]
+	return v, ok
+}
+
+// cost converts an experience entry's latency into the configured cost.
+func (n *Neo) cost(e Entry) float64 {
+	if n.Config.Cost == RelativeCost {
+		if base, ok := n.baseline[e.Query.ID]; ok && base > 0 {
+			return e.Latency / base
+		}
+	}
+	return e.Latency
+}
+
+// encodeQuery caches query-level encodings.
+func (n *Neo) encodeQuery(q *query.Query) []float64 {
+	if enc, ok := n.queryEncCache[q.ID]; ok {
+		return enc
+	}
+	enc := n.Featurizer.EncodeQuery(q)
+	n.queryEncCache[q.ID] = enc
+	return enc
+}
+
+// Bootstrap collects demonstration experience from an expert optimizer
+// (Section 2, "Expertise Collection"): each training query's expert plan is
+// executed on the target engine, the plan/latency pair is added to the
+// experience, and the latency is recorded as the query's baseline. It then
+// trains the value network on the collected demonstrations.
+func (n *Neo) Bootstrap(queries []*query.Query, expert func(*query.Query) (*plan.Plan, error)) error {
+	for _, q := range queries {
+		p, err := expert(q)
+		if err != nil {
+			return fmt.Errorf("core: expert failed on query %s: %w", q.ID, err)
+		}
+		lat, _, err := n.Engine.Execute(p)
+		if err != nil {
+			return fmt.Errorf("core: executing expert plan for %s: %w", q.ID, err)
+		}
+		n.Experience.Add(q, p, lat)
+		n.SetBaseline(q.ID, lat)
+	}
+	n.Retrain()
+	return nil
+}
+
+// Explore executes additional (typically randomly generated) plans for the
+// given queries and adds them to the experience, then retrains. Executing a
+// handful of alternative plans per query alongside the expert demonstration
+// gives the value network within-query contrast — it sees both good and bad
+// plans for the same query — which substantially improves early plan ranking
+// when the training workload is small. (The paper collects only the expert
+// plan per query; this is an optional enrichment, enabled by default in the
+// experiment harness and documented in DESIGN.md.)
+func (n *Neo) Explore(queries []*query.Query, planner func(*query.Query) *plan.Plan, perQuery int) error {
+	if perQuery <= 0 {
+		return nil
+	}
+	for _, q := range queries {
+		for i := 0; i < perQuery; i++ {
+			p := planner(q)
+			if p == nil || !p.IsComplete() {
+				continue
+			}
+			lat, _, err := n.Engine.Execute(p)
+			if err != nil {
+				return fmt.Errorf("core: exploring plan for %s: %w", q.ID, err)
+			}
+			n.Experience.Add(q, p, lat)
+		}
+	}
+	n.Retrain()
+	return nil
+}
+
+// BootstrapFromPlans is Bootstrap for pre-computed expert plans.
+func (n *Neo) BootstrapFromPlans(plans []*plan.Plan) error {
+	for _, p := range plans {
+		lat, _, err := n.Engine.Execute(p)
+		if err != nil {
+			return fmt.Errorf("core: executing expert plan for %s: %w", p.Query.ID, err)
+		}
+		n.Experience.Add(p.Query, p, lat)
+		n.SetBaseline(p.Query.ID, lat)
+	}
+	n.Retrain()
+	return nil
+}
+
+// trainingSamples converts the experience into value-network training
+// samples: for every stored complete plan, the plan itself plus the partial
+// plans along its bottom-up construction, each labelled with the minimum
+// cost of any experienced complete plan that contains it.
+func (n *Neo) trainingSamples() []valuenet.Sample {
+	var samples []valuenet.Sample
+	for _, entry := range n.Experience.Entries() {
+		qEnc := n.encodeQuery(entry.Query)
+		for _, partial := range constructionStates(entry.Plan) {
+			target, ok := n.Experience.MinCostContaining(partial, n.cost)
+			if !ok {
+				target = n.cost(entry)
+			}
+			samples = append(samples, valuenet.Sample{
+				Query:  qEnc,
+				Plan:   n.Featurizer.EncodePlan(partial),
+				Target: target,
+			})
+		}
+	}
+	return samples
+}
+
+// constructionStates returns the sequence of partial plans that build up to
+// the complete plan p: the initial all-unspecified state, the all-leaves
+// state, every intermediate forest produced by applying p's joins bottom-up,
+// and finally p itself.
+func constructionStates(p *plan.Plan) []*plan.Plan {
+	if !p.IsComplete() {
+		return []*plan.Plan{p}
+	}
+	var states []*plan.Plan
+	states = append(states, plan.Initial(p.Query))
+
+	// Collect p's join nodes ordered by subtree size (bottom-up).
+	var joins []*plan.Node
+	p.Roots[0].Walk(func(node *plan.Node) {
+		if !node.IsLeaf() {
+			joins = append(joins, node)
+		}
+	})
+	// Sort by number of nodes ascending so children come before parents.
+	for i := 0; i < len(joins); i++ {
+		for j := i + 1; j < len(joins); j++ {
+			if joins[j].NumNodes() < joins[i].NumNodes() {
+				joins[i], joins[j] = joins[j], joins[i]
+			}
+		}
+	}
+
+	// Start from the forest of specified leaves.
+	var leaves []*plan.Node
+	p.Roots[0].Walk(func(node *plan.Node) {
+		if node.IsLeaf() {
+			leaves = append(leaves, node.Clone())
+		}
+	})
+	current := map[string]*plan.Node{}
+	for _, l := range leaves {
+		current[l.Table] = l
+	}
+	forest := func() []*plan.Node {
+		out := make([]*plan.Node, 0, len(current))
+		seen := map[*plan.Node]bool{}
+		for _, node := range current {
+			if !seen[node] {
+				seen[node] = true
+				out = append(out, node)
+			}
+		}
+		return out
+	}
+	states = append(states, &plan.Plan{Query: p.Query, Roots: forest()})
+
+	for _, j := range joins {
+		// Build the joined subtree from the current forest roots covering
+		// the left and right table sets.
+		leftTables := j.Left.Tables()
+		rightTables := j.Right.Tables()
+		leftRoot := current[leftTables[0]]
+		rightRoot := current[rightTables[0]]
+		joined := plan.Join2(j.Join, leftRoot, rightRoot)
+		for _, t := range append(leftTables, rightTables...) {
+			current[t] = joined
+		}
+		states = append(states, &plan.Plan{Query: p.Query, Roots: forest()})
+	}
+	return states
+}
+
+// Retrain rebuilds the training set from the experience and (re)trains the
+// value network. It returns the final training loss.
+func (n *Neo) Retrain() float64 {
+	samples := n.trainingSamples()
+	if len(samples) == 0 {
+		return 0
+	}
+	if n.Config.MaxTrainSamples > 0 && len(samples) > n.Config.MaxTrainSamples {
+		n.rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+		samples = samples[:n.Config.MaxTrainSamples]
+	}
+	start := time.Now()
+	loss := n.Net.Train(samples, n.Config.TrainEpochs, n.Config.BatchSize, n.rng)
+	n.trainTime += time.Since(start)
+	return loss
+}
+
+// Scorer returns a search.Scorer that evaluates partial plans with the value
+// network for the given query.
+func (n *Neo) Scorer(q *query.Query) search.Scorer {
+	qEnc := n.encodeQuery(q)
+	return search.ScorerFunc(func(p *plan.Plan) float64 {
+		trees := n.Featurizer.EncodePlan(p)
+		return n.Net.Predict(qEnc, trees)
+	})
+}
+
+// Optimize searches for the best plan for q using the current value network.
+func (n *Neo) Optimize(q *query.Query) (*plan.Plan, *search.Result, error) {
+	opts := search.Options{
+		Catalog:       n.Featurizer.Catalog,
+		MaxExpansions: n.Config.SearchExpansions,
+	}
+	res, err := search.BestFirst(q, n.Scorer(q), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Plan, res, nil
+}
+
+// OptimizeGreedy builds a plan greedily (the "hurry-up"/Q-learning-style
+// ablation of Section 4.2).
+func (n *Neo) OptimizeGreedy(q *query.Query) (*plan.Plan, *search.Result, error) {
+	opts := search.Options{Catalog: n.Featurizer.Catalog}
+	res, err := search.Greedy(q, n.Scorer(q), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Plan, res, nil
+}
+
+// EpisodeStats summarises one training episode.
+type EpisodeStats struct {
+	// Episode is the 1-based episode number.
+	Episode int
+	// TotalLatency is the summed latency of the plans chosen this episode.
+	TotalLatency float64
+	// NormalizedLatency is TotalLatency divided by the summed baseline
+	// latency of the same queries (the paper's "normalized latency", where
+	// 1.0 equals the baseline optimizer).
+	NormalizedLatency float64
+	// TrainLoss is the value-network loss after retraining.
+	TrainLoss float64
+	// QueryLatencies maps query ID to the latency of the plan Neo chose.
+	QueryLatencies map[string]float64
+}
+
+// RunEpisode performs one full training episode (Section 6.3.1): for every
+// training query, search for a plan with the current value network, execute
+// it on the engine, add the plan/latency pair to the experience, and finally
+// retrain the network.
+func (n *Neo) RunEpisode(episode int, queries []*query.Query) (*EpisodeStats, error) {
+	stats := &EpisodeStats{Episode: episode, QueryLatencies: make(map[string]float64)}
+	shuffled := append([]*query.Query(nil), queries...)
+	n.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	baseTotal := 0.0
+	for _, q := range shuffled {
+		p, _, err := n.Optimize(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: episode %d query %s: %w", episode, q.ID, err)
+		}
+		lat, _, err := n.Engine.Execute(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: episode %d executing plan for %s: %w", episode, q.ID, err)
+		}
+		n.Experience.Add(q, p, lat)
+		stats.TotalLatency += lat
+		stats.QueryLatencies[q.ID] = lat
+		if base, ok := n.baseline[q.ID]; ok {
+			baseTotal += base
+		} else {
+			baseTotal += lat
+		}
+	}
+	if baseTotal > 0 {
+		stats.NormalizedLatency = stats.TotalLatency / baseTotal
+	}
+	stats.TrainLoss = n.Retrain()
+	return stats, nil
+}
+
+// Evaluate optimizes and executes each query without adding the results to
+// the experience (held-out evaluation). It returns the total latency and the
+// per-query latencies.
+func (n *Neo) Evaluate(queries []*query.Query) (float64, map[string]float64, error) {
+	perQuery := make(map[string]float64, len(queries))
+	total := 0.0
+	for _, q := range queries {
+		p, _, err := n.Optimize(q)
+		if err != nil {
+			return 0, nil, err
+		}
+		lat, _, err := n.Engine.Execute(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		perQuery[q.ID] = lat
+		total += lat
+	}
+	return total, perQuery, nil
+}
+
+// PredictNormalized exposes the raw value-network output for a plan of a
+// query (used by the Figure 14 robustness analysis).
+func (n *Neo) PredictNormalized(q *query.Query, p *plan.Plan) float64 {
+	return n.Net.PredictNormalized(n.encodeQuery(q), n.Featurizer.EncodePlan(p))
+}
+
+// EncodePlanTrees is a convenience wrapper exposing the featurizer's plan
+// encoding (useful for analysis tools and tests).
+func (n *Neo) EncodePlanTrees(p *plan.Plan) []*treeconv.Tree {
+	return n.Featurizer.EncodePlan(p)
+}

@@ -1,0 +1,176 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neo/internal/schema"
+	"neo/internal/storage"
+)
+
+// CorpCatalog returns the catalog of the Corp-like profile: a snowflake
+// schema (one large event fact table plus several dimensions) with heavy
+// value skew, standing in for the paper's proprietary 2 TB dashboard
+// workload.
+func CorpCatalog() *schema.Catalog {
+	tables := []*schema.Table{
+		{Name: "events", PrimaryKey: "e_id", Columns: []schema.Column{
+			{Name: "e_id", Type: schema.IntType},
+			{Name: "e_user_id", Type: schema.IntType},
+			{Name: "e_page_id", Type: schema.IntType},
+			{Name: "e_campaign_id", Type: schema.IntType},
+			{Name: "e_date_id", Type: schema.IntType},
+			{Name: "e_kind", Type: schema.StringType, Distinct: 6},
+			{Name: "e_duration", Type: schema.IntType},
+		}},
+		{Name: "users", PrimaryKey: "u_id", Columns: []schema.Column{
+			{Name: "u_id", Type: schema.IntType},
+			{Name: "u_region_id", Type: schema.IntType},
+			{Name: "u_plan", Type: schema.StringType, Distinct: 4},
+			{Name: "u_signup_year", Type: schema.IntType, Distinct: 10},
+		}},
+		{Name: "pages", PrimaryKey: "p_id", Columns: []schema.Column{
+			{Name: "p_id", Type: schema.IntType},
+			{Name: "p_section", Type: schema.StringType, Distinct: 8},
+			{Name: "p_depth", Type: schema.IntType, Distinct: 5},
+		}},
+		{Name: "campaigns", PrimaryKey: "cm_id", Columns: []schema.Column{
+			{Name: "cm_id", Type: schema.IntType},
+			{Name: "cm_channel", Type: schema.StringType, Distinct: 5},
+			{Name: "cm_budget", Type: schema.IntType},
+		}},
+		{Name: "dates", PrimaryKey: "d_id", Columns: []schema.Column{
+			{Name: "d_id", Type: schema.IntType},
+			{Name: "d_year", Type: schema.IntType, Distinct: 3},
+			{Name: "d_month", Type: schema.IntType, Distinct: 12},
+			{Name: "d_weekday", Type: schema.IntType, Distinct: 7},
+		}},
+		{Name: "regions", PrimaryKey: "rg_id", Columns: []schema.Column{
+			{Name: "rg_id", Type: schema.IntType},
+			{Name: "rg_name", Type: schema.StringType, Distinct: 10},
+			{Name: "rg_tier", Type: schema.IntType, Distinct: 3},
+		}},
+	}
+	fks := []schema.ForeignKey{
+		{FromTable: "events", FromColumn: "e_user_id", ToTable: "users", ToColumn: "u_id"},
+		{FromTable: "events", FromColumn: "e_page_id", ToTable: "pages", ToColumn: "p_id"},
+		{FromTable: "events", FromColumn: "e_campaign_id", ToTable: "campaigns", ToColumn: "cm_id"},
+		{FromTable: "events", FromColumn: "e_date_id", ToTable: "dates", ToColumn: "d_id"},
+		{FromTable: "users", FromColumn: "u_region_id", ToTable: "regions", ToColumn: "rg_id"},
+	}
+	indexes := []schema.Index{
+		{Table: "events", Column: "e_user_id"},
+		{Table: "events", Column: "e_date_id"},
+		{Table: "users", Column: "u_region_id"},
+	}
+	return schema.MustNewCatalog(tables, fks, indexes)
+}
+
+// GenerateCorp generates the skewed dashboard database. Event activity is
+// Zipf-distributed over users and pages, and event kind correlates with page
+// section, mimicking the "real workloads are skewed and templated" property
+// the paper attributes to the Corp dataset.
+func GenerateCorp(cfg Config) (*storage.Database, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	cat := CorpCatalog()
+	db := storage.NewDatabase(cat)
+
+	nRegions := 10
+	tiers := []int64{1, 1, 1, 2, 2, 2, 2, 3, 3, 3}
+	for i := 1; i <= nRegions; i++ {
+		if err := db.Table("regions").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.StringValue(fmt.Sprintf("region-%d", i)),
+			storage.IntValue(tiers[(i-1)%len(tiers)]),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	plans := []string{"free", "free", "pro", "enterprise"}
+	nUsers := cfg.scaled(600)
+	for i := 1; i <= nUsers; i++ {
+		if err := db.Table("users").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(1+skewedIndex(rng, nRegions, 1.5))),
+			storage.StringValue(plans[rng.Intn(len(plans))]),
+			storage.IntValue(int64(2015+rng.Intn(10))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	sections := []string{"home", "search", "product", "checkout", "account", "help", "blog", "admin"}
+	nPages := cfg.scaled(120)
+	pageSection := make([]string, nPages+1)
+	for i := 1; i <= nPages; i++ {
+		section := sections[skewedIndex(rng, len(sections), 1.2)]
+		pageSection[i] = section
+		if err := db.Table("pages").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.StringValue(section),
+			storage.IntValue(int64(1+rng.Intn(5))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	channels := []string{"email", "search", "social", "display", "referral"}
+	nCampaigns := cfg.scaled(40)
+	for i := 1; i <= nCampaigns; i++ {
+		if err := db.Table("campaigns").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.StringValue(channels[rng.Intn(len(channels))]),
+			storage.IntValue(int64(1000+rng.Intn(100000))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	nDates := 365
+	for i := 1; i <= nDates; i++ {
+		if err := db.Table("dates").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(2023+(i-1)/365)),
+			storage.IntValue(int64(1+((i-1)/30)%12)),
+			storage.IntValue(int64(1+(i-1)%7)),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	kindBySection := map[string][]string{
+		"checkout": {"purchase", "purchase", "click"},
+		"search":   {"search", "search", "click"},
+		"product":  {"view", "click", "purchase"},
+		"home":     {"view", "view", "click"},
+	}
+	defaultKinds := []string{"view", "click", "scroll", "search", "purchase", "error"}
+	userZipf := rand.NewZipf(rng, 1.3, 1.0, uint64(nUsers-1))
+	pageZipf := rand.NewZipf(rng, 1.2, 1.0, uint64(nPages-1))
+
+	nEvents := cfg.scaled(7000)
+	for i := 1; i <= nEvents; i++ {
+		pid := int(pageZipf.Uint64()) + 1
+		kinds := kindBySection[pageSection[pid]]
+		if kinds == nil {
+			kinds = defaultKinds
+		}
+		if err := db.Table("events").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(int(userZipf.Uint64())+1)),
+			storage.IntValue(int64(pid)),
+			storage.IntValue(int64(1+rng.Intn(nCampaigns))),
+			storage.IntValue(int64(1+rng.Intn(nDates))),
+			storage.StringValue(kinds[rng.Intn(len(kinds))]),
+			storage.IntValue(int64(rng.Intn(600))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := db.BuildIndexes(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

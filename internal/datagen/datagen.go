@@ -1,0 +1,398 @@
+// Package datagen generates the synthetic databases the experiments run
+// against. Three profiles mirror the paper's three workloads:
+//
+//   - IMDB: a movie database in the style of the Join Order Benchmark's IMDB
+//     schema, with deliberately strong cross-table correlations (genre ↔
+//     keyword, company country ↔ actor country) that violate the uniformity
+//     and independence assumptions of histogram-based estimators.
+//   - TPCH: a uniform, independent star schema in the style of TPC-H, where
+//     classical estimators are accurate and learned embeddings add little.
+//   - Corp: a skewed snowflake schema standing in for the paper's
+//     proprietary 2 TB dashboard workload.
+//
+// All generation is deterministic for a given Config (scale + seed).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neo/internal/schema"
+	"neo/internal/storage"
+)
+
+// Profile selects which synthetic database to generate.
+type Profile string
+
+const (
+	// IMDB is the correlated movie-database profile (JOB-like).
+	IMDB Profile = "imdb"
+	// TPCH is the uniform decision-support profile (TPC-H-like).
+	TPCH Profile = "tpch"
+	// Corp is the skewed dashboard profile (Corp-like).
+	Corp Profile = "corp"
+)
+
+// Config controls the size and randomness of a generated database.
+type Config struct {
+	// Scale multiplies every table's base row count. 1.0 generates a
+	// database small enough for the full experiment suite to run in seconds.
+	Scale float64
+	// Seed seeds the deterministic random generator.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the experiment harness.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42} }
+
+func (c Config) scaled(base int) int {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	n := int(float64(base) * c.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate builds the database for the given profile.
+func Generate(p Profile, cfg Config) (*storage.Database, error) {
+	switch p {
+	case IMDB:
+		return GenerateIMDB(cfg)
+	case TPCH:
+		return GenerateTPCH(cfg)
+	case Corp:
+		return GenerateCorp(cfg)
+	default:
+		return nil, fmt.Errorf("datagen: unknown profile %q", p)
+	}
+}
+
+// Genres are the latent movie genres used by the IMDB profile. They drive
+// the keyword correlation that Table 2 of the paper measures.
+var Genres = []string{"romance", "action", "horror", "comedy", "drama", "sci-fi"}
+
+// Keywords are the keyword strings used by the IMDB profile. The first few
+// are strongly correlated with specific genres.
+var Keywords = []string{
+	"love", "fight", "ghost", "laugh", "family", "space",
+	"war", "murder", "wedding", "robot", "school", "detective",
+	"dragon", "vampire", "hero", "island", "secret", "revenge",
+	"journey", "friendship", "betrayal", "treasure", "prison", "storm",
+}
+
+// genreKeywordAffinity[g][k] is the relative probability that a movie of
+// genre g receives keyword k. Rows need not be normalised.
+var genreKeywordAffinity = map[string]map[string]float64{
+	"romance": {"love": 8, "wedding": 5, "friendship": 3, "betrayal": 2, "family": 2},
+	"action":  {"fight": 8, "war": 5, "hero": 4, "revenge": 3, "prison": 2},
+	"horror":  {"ghost": 8, "vampire": 5, "murder": 4, "secret": 2, "storm": 2},
+	"comedy":  {"laugh": 8, "school": 4, "wedding": 3, "family": 3, "friendship": 2},
+	"drama":   {"family": 6, "betrayal": 4, "secret": 3, "murder": 2, "love": 2},
+	"sci-fi":  {"space": 8, "robot": 6, "journey": 3, "hero": 2, "storm": 1},
+}
+
+// Countries used for companies and people in the IMDB profile.
+var Countries = []string{"us", "uk", "france", "japan", "india", "china", "germany", "brazil"}
+
+// IMDBCatalog returns the catalog of the IMDB-like profile. It is exported
+// so that workload generators and tests can reference the schema without
+// generating data.
+func IMDBCatalog() *schema.Catalog {
+	tables := []*schema.Table{
+		{Name: "title", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "kind", Type: schema.StringType, Distinct: 4},
+			{Name: "production_year", Type: schema.IntType, Distinct: 60},
+			{Name: "episode_count", Type: schema.IntType, Distinct: 50},
+		}},
+		{Name: "movie_info", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "movie_id", Type: schema.IntType},
+			{Name: "info_type_id", Type: schema.IntType, Distinct: 6},
+			{Name: "info", Type: schema.StringType},
+		}},
+		{Name: "info_type", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "info", Type: schema.StringType, Distinct: 6},
+		}},
+		{Name: "movie_keyword", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "movie_id", Type: schema.IntType},
+			{Name: "keyword_id", Type: schema.IntType},
+		}},
+		{Name: "keyword", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "keyword", Type: schema.StringType},
+		}},
+		{Name: "cast_info", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "movie_id", Type: schema.IntType},
+			{Name: "person_id", Type: schema.IntType},
+			{Name: "role", Type: schema.StringType, Distinct: 4},
+		}},
+		{Name: "name", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "name", Type: schema.StringType},
+			{Name: "country", Type: schema.StringType, Distinct: len(Countries)},
+			{Name: "birth_year", Type: schema.IntType, Distinct: 70},
+		}},
+		{Name: "movie_companies", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "movie_id", Type: schema.IntType},
+			{Name: "company_id", Type: schema.IntType},
+		}},
+		{Name: "company", PrimaryKey: "id", Columns: []schema.Column{
+			{Name: "id", Type: schema.IntType},
+			{Name: "name", Type: schema.StringType},
+			{Name: "country", Type: schema.StringType, Distinct: len(Countries)},
+		}},
+	}
+	fks := []schema.ForeignKey{
+		{FromTable: "movie_info", FromColumn: "movie_id", ToTable: "title", ToColumn: "id"},
+		{FromTable: "movie_info", FromColumn: "info_type_id", ToTable: "info_type", ToColumn: "id"},
+		{FromTable: "movie_keyword", FromColumn: "movie_id", ToTable: "title", ToColumn: "id"},
+		{FromTable: "movie_keyword", FromColumn: "keyword_id", ToTable: "keyword", ToColumn: "id"},
+		{FromTable: "cast_info", FromColumn: "movie_id", ToTable: "title", ToColumn: "id"},
+		{FromTable: "cast_info", FromColumn: "person_id", ToTable: "name", ToColumn: "id"},
+		{FromTable: "movie_companies", FromColumn: "movie_id", ToTable: "title", ToColumn: "id"},
+		{FromTable: "movie_companies", FromColumn: "company_id", ToTable: "company", ToColumn: "id"},
+	}
+	indexes := []schema.Index{
+		{Table: "movie_info", Column: "movie_id"},
+		{Table: "movie_keyword", Column: "movie_id"},
+		{Table: "movie_keyword", Column: "keyword_id"},
+		{Table: "cast_info", Column: "movie_id"},
+		{Table: "cast_info", Column: "person_id"},
+		{Table: "movie_companies", Column: "movie_id"},
+		{Table: "title", Column: "production_year"},
+	}
+	return schema.MustNewCatalog(tables, fks, indexes)
+}
+
+// GenerateIMDB generates the correlated movie database.
+func GenerateIMDB(cfg Config) (*storage.Database, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := IMDBCatalog()
+	db := storage.NewDatabase(cat)
+
+	nTitles := cfg.scaled(1500)
+	nKeywords := len(Keywords)
+	nPeople := cfg.scaled(800)
+	nCompanies := cfg.scaled(100)
+
+	kinds := []string{"movie", "movie", "movie", "tv", "video"}
+	roles := []string{"actor", "actor", "actress", "director", "producer"}
+
+	// info_type: id 1..6; id 3 is "genres" to mirror the paper's example query.
+	infoTypes := []string{"runtime", "budget", "genres", "rating", "language", "country"}
+	it := db.Table("info_type")
+	for i, name := range infoTypes {
+		if err := it.AppendRow(storage.IntValue(int64(i+1)), storage.StringValue(name)); err != nil {
+			return nil, err
+		}
+	}
+
+	kw := db.Table("keyword")
+	for i, k := range Keywords {
+		if err := kw.AppendRow(storage.IntValue(int64(i+1)), storage.StringValue(k)); err != nil {
+			return nil, err
+		}
+	}
+	_ = nKeywords
+
+	// companies, with country distribution skewed towards "us".
+	comp := db.Table("company")
+	companyCountry := make([]string, nCompanies+1)
+	for i := 1; i <= nCompanies; i++ {
+		country := Countries[skewedIndex(rng, len(Countries), 1.6)]
+		companyCountry[i] = country
+		name := fmt.Sprintf("%s-studio-%d", country, i)
+		if err := comp.AppendRow(storage.IntValue(int64(i)), storage.StringValue(name), storage.StringValue(country)); err != nil {
+			return nil, err
+		}
+	}
+
+	// people; country correlated with nothing yet, but cast assignment below
+	// correlates person country with the movie's company country.
+	nameTab := db.Table("name")
+	personCountry := make([]string, nPeople+1)
+	peopleByCountry := make(map[string][]int)
+	for i := 1; i <= nPeople; i++ {
+		country := Countries[skewedIndex(rng, len(Countries), 1.3)]
+		personCountry[i] = country
+		peopleByCountry[country] = append(peopleByCountry[country], i)
+		pname := fmt.Sprintf("%s-person-%d", country, i)
+		birth := int64(1930 + rng.Intn(70))
+		if err := nameTab.AppendRow(storage.IntValue(int64(i)), storage.StringValue(pname), storage.StringValue(country), storage.IntValue(birth)); err != nil {
+			return nil, err
+		}
+	}
+	_ = personCountry
+
+	title := db.Table("title")
+	mi := db.Table("movie_info")
+	mk := db.Table("movie_keyword")
+	ci := db.Table("cast_info")
+	mc := db.Table("movie_companies")
+
+	miID, mkID, ciID, mcID := int64(1), int64(1), int64(1), int64(1)
+	for i := 1; i <= nTitles; i++ {
+		genre := Genres[skewedIndex(rng, len(Genres), 1.2)]
+		kind := kinds[rng.Intn(len(kinds))]
+		// Genre correlates with production year: sci-fi skews recent,
+		// drama skews older. This gives histogram estimators something to
+		// get wrong on conjunctive predicates.
+		year := correlatedYear(rng, genre)
+		episodes := int64(0)
+		if kind == "tv" {
+			episodes = int64(1 + rng.Intn(50))
+		}
+		if err := title.AppendRow(storage.IntValue(int64(i)), storage.StringValue(kind), storage.IntValue(year), storage.IntValue(episodes)); err != nil {
+			return nil, err
+		}
+
+		// movie_info: always a genres row (info_type 3), plus rating and
+		// language rows.
+		if err := mi.AppendRow(storage.IntValue(miID), storage.IntValue(int64(i)), storage.IntValue(3), storage.StringValue(genre)); err != nil {
+			return nil, err
+		}
+		miID++
+		rating := fmt.Sprintf("%.1f", 4.0+rng.Float64()*6.0)
+		if err := mi.AppendRow(storage.IntValue(miID), storage.IntValue(int64(i)), storage.IntValue(4), storage.StringValue(rating)); err != nil {
+			return nil, err
+		}
+		miID++
+		lang := []string{"english", "english", "french", "japanese", "hindi"}[rng.Intn(5)]
+		if err := mi.AppendRow(storage.IntValue(miID), storage.IntValue(int64(i)), storage.IntValue(5), storage.StringValue(lang)); err != nil {
+			return nil, err
+		}
+		miID++
+
+		// movie_keyword: 1-4 keywords drawn from the genre-affinity mix.
+		nKw := 1 + rng.Intn(4)
+		for k := 0; k < nKw; k++ {
+			kwID := pickKeyword(rng, genre)
+			if err := mk.AppendRow(storage.IntValue(mkID), storage.IntValue(int64(i)), storage.IntValue(kwID)); err != nil {
+				return nil, err
+			}
+			mkID++
+		}
+
+		// movie_companies: one or two companies; remember the first
+		// company's country to correlate cast membership.
+		nComp := 1 + rng.Intn(2)
+		movieCountry := ""
+		for k := 0; k < nComp; k++ {
+			cid := 1 + rng.Intn(nCompanies)
+			if k == 0 {
+				movieCountry = companyCountry[cid]
+			}
+			if err := mc.AppendRow(storage.IntValue(mcID), storage.IntValue(int64(i)), storage.IntValue(int64(cid))); err != nil {
+				return nil, err
+			}
+			mcID++
+		}
+
+		// cast_info: 3-6 people; with 70% probability a cast member comes
+		// from the movie's production country (cross-table correlation).
+		nCast := 3 + rng.Intn(4)
+		for k := 0; k < nCast; k++ {
+			var pid int
+			if rng.Float64() < 0.7 && len(peopleByCountry[movieCountry]) > 0 {
+				pool := peopleByCountry[movieCountry]
+				pid = pool[rng.Intn(len(pool))]
+			} else {
+				pid = 1 + rng.Intn(nPeople)
+			}
+			role := roles[rng.Intn(len(roles))]
+			if err := ci.AppendRow(storage.IntValue(ciID), storage.IntValue(int64(i)), storage.IntValue(int64(pid)), storage.StringValue(role)); err != nil {
+				return nil, err
+			}
+			ciID++
+		}
+	}
+
+	if err := db.BuildIndexes(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// correlatedYear samples a production year whose distribution depends on the
+// genre, creating a correlation between title.production_year and the genre
+// recorded in movie_info.
+func correlatedYear(rng *rand.Rand, genre string) int64 {
+	base := 1960
+	span := 60
+	switch genre {
+	case "sci-fi":
+		base, span = 1990, 30
+	case "drama":
+		base, span = 1950, 40
+	case "action":
+		base, span = 1980, 40
+	}
+	return int64(base + rng.Intn(span))
+}
+
+// pickKeyword samples a keyword id (1-based) for a movie of the given genre
+// using the affinity table, falling back to a uniform keyword 20% of the
+// time so every keyword/genre combination has non-zero support.
+func pickKeyword(rng *rand.Rand, genre string) int64 {
+	aff := genreKeywordAffinity[genre]
+	if aff == nil || rng.Float64() < 0.2 {
+		return int64(1 + rng.Intn(len(Keywords)))
+	}
+	total := 0.0
+	for _, w := range aff {
+		total += w
+	}
+	r := rng.Float64() * total
+	for _, k := range Keywords {
+		w, ok := aff[k]
+		if !ok {
+			continue
+		}
+		if r < w {
+			return int64(keywordID(k))
+		}
+		r -= w
+	}
+	return int64(1 + rng.Intn(len(Keywords)))
+}
+
+// keywordID returns the 1-based id of a keyword string.
+func keywordID(k string) int {
+	for i, s := range Keywords {
+		if s == k {
+			return i + 1
+		}
+	}
+	return 1
+}
+
+// skewedIndex returns an index in [0,n) with probability proportional to
+// 1/(i+1)^alpha, i.e. earlier indexes are more likely.
+func skewedIndex(rng *rand.Rand, n int, alpha float64) int {
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		w := 1.0
+		for a := alpha; a >= 1; a-- {
+			w /= float64(i + 1)
+		}
+		weights[i] = w
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return n - 1
+}

@@ -1,0 +1,313 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"neo/internal/storage"
+)
+
+func TestGenerateIMDBShape(t *testing.T) {
+	db, err := GenerateIMDB(Config{Scale: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatalf("GenerateIMDB: %v", err)
+	}
+	wantTables := []string{"title", "movie_info", "info_type", "movie_keyword", "keyword", "cast_info", "name", "movie_companies", "company"}
+	for _, name := range wantTables {
+		tab := db.Table(name)
+		if tab == nil {
+			t.Fatalf("missing table %q", name)
+		}
+		if tab.NumRows() == 0 {
+			t.Errorf("table %q is empty", name)
+		}
+	}
+	titles := db.Table("title").NumRows()
+	// movie_info has exactly 3 rows per title (genre, rating, language).
+	if got := db.Table("movie_info").NumRows(); got != 3*titles {
+		t.Errorf("movie_info rows = %d, want %d", got, 3*titles)
+	}
+	// Every movie has at least one keyword and at least three cast entries.
+	if got := db.Table("movie_keyword").NumRows(); got < titles {
+		t.Errorf("movie_keyword rows = %d, want >= %d", got, titles)
+	}
+	if got := db.Table("cast_info").NumRows(); got < 3*titles {
+		t.Errorf("cast_info rows = %d, want >= %d", got, 3*titles)
+	}
+	// Indexes that the catalog declares must exist.
+	if db.Table("movie_keyword").Index("movie_id") == nil {
+		t.Errorf("expected index on movie_keyword.movie_id")
+	}
+	if db.Table("title").Index("id") == nil {
+		t.Errorf("expected primary key index on title.id")
+	}
+}
+
+func TestGenerateIMDBDeterministic(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 99}
+	a, err := GenerateIMDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateIMDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRows() != b.TotalRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.TotalRows(), b.TotalRows())
+	}
+	// Spot-check a handful of cells for byte-for-byte determinism.
+	for _, probe := range []struct {
+		table, col string
+		row        int
+	}{
+		{"title", "production_year", 3},
+		{"movie_info", "info", 10},
+		{"cast_info", "person_id", 25},
+		{"name", "country", 12},
+	} {
+		va, err := a.Table(probe.table).Value(probe.col, probe.row)
+		if err != nil {
+			t.Fatalf("value a: %v", err)
+		}
+		vb, err := b.Table(probe.table).Value(probe.col, probe.row)
+		if err != nil {
+			t.Fatalf("value b: %v", err)
+		}
+		if !va.Equal(vb) {
+			t.Errorf("%s.%s[%d]: %v != %v", probe.table, probe.col, probe.row, va, vb)
+		}
+	}
+}
+
+func TestGenerateIMDBDifferentSeedsDiffer(t *testing.T) {
+	a, _ := GenerateIMDB(Config{Scale: 0.1, Seed: 1})
+	b, _ := GenerateIMDB(Config{Scale: 0.1, Seed: 2})
+	same := true
+	n := a.Table("title").NumRows()
+	if b.Table("title").NumRows() < n {
+		n = b.Table("title").NumRows()
+	}
+	for i := 0; i < n; i++ {
+		va, _ := a.Table("title").Value("production_year", i)
+		vb, _ := b.Table("title").Value("production_year", i)
+		if !va.Equal(vb) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical production_year columns")
+	}
+}
+
+// TestGenreKeywordCorrelation verifies the property Table 2 of the paper
+// depends on: romance movies carry the keyword "love" far more often than
+// horror movies do.
+func TestGenreKeywordCorrelation(t *testing.T) {
+	db, err := GenerateIMDB(Config{Scale: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genreOf := map[int64]string{}
+	mi := db.Table("movie_info")
+	for i := 0; i < mi.NumRows(); i++ {
+		it, _ := mi.Value("info_type_id", i)
+		if it.Int != 3 {
+			continue
+		}
+		mid, _ := mi.Value("movie_id", i)
+		g, _ := mi.Value("info", i)
+		genreOf[mid.Int] = g.Str
+	}
+	loveID := int64(keywordID("love"))
+	counts := map[string]int{}
+	mk := db.Table("movie_keyword")
+	for i := 0; i < mk.NumRows(); i++ {
+		kid, _ := mk.Value("keyword_id", i)
+		if kid.Int != loveID {
+			continue
+		}
+		mid, _ := mk.Value("movie_id", i)
+		counts[genreOf[mid.Int]]++
+	}
+	if counts["romance"] <= counts["horror"] {
+		t.Errorf("expected love keyword to favour romance over horror, got %v", counts)
+	}
+	if counts["romance"] <= 2*counts["sci-fi"] {
+		t.Errorf("expected strong romance/love affinity, got %v", counts)
+	}
+}
+
+func TestGenerateTPCHShape(t *testing.T) {
+	db, err := GenerateTPCH(Config{Scale: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatalf("GenerateTPCH: %v", err)
+	}
+	if got := db.Table("region").NumRows(); got != 5 {
+		t.Errorf("region rows = %d, want 5", got)
+	}
+	if got := db.Table("nation").NumRows(); got != 25 {
+		t.Errorf("nation rows = %d, want 25", got)
+	}
+	if db.Table("lineitem").NumRows() <= db.Table("orders").NumRows() {
+		t.Errorf("lineitem should be larger than orders")
+	}
+	// Foreign keys point at existing rows (spot check orders → customer).
+	nCust := db.Table("customer").NumRows()
+	orders := db.Table("orders")
+	for i := 0; i < orders.NumRows(); i += 50 {
+		v, _ := orders.Value("o_custkey", i)
+		if v.Int < 1 || v.Int > int64(nCust) {
+			t.Fatalf("orders.o_custkey[%d] = %d outside [1,%d]", i, v.Int, nCust)
+		}
+	}
+}
+
+func TestGenerateCorpShapeAndSkew(t *testing.T) {
+	db, err := GenerateCorp(Config{Scale: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatalf("GenerateCorp: %v", err)
+	}
+	events := db.Table("events")
+	if events.NumRows() == 0 {
+		t.Fatalf("events empty")
+	}
+	// Skew: the most frequent user should have far more events than the
+	// median user.
+	counts := map[int64]int{}
+	for i := 0; i < events.NumRows(); i++ {
+		v, _ := events.Value("e_user_id", i)
+		counts[v.Int]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	avg := float64(events.NumRows()) / float64(len(counts))
+	if float64(max) < 4*avg {
+		t.Errorf("expected Zipf skew: max user count %d vs average %.1f", max, avg)
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, p := range []Profile{IMDB, TPCH, Corp} {
+		db, err := Generate(p, Config{Scale: 0.1, Seed: 5})
+		if err != nil {
+			t.Errorf("Generate(%s): %v", p, err)
+			continue
+		}
+		if db.TotalRows() == 0 {
+			t.Errorf("Generate(%s) produced empty database", p)
+		}
+	}
+	if _, err := Generate(Profile("bogus"), DefaultConfig()); err == nil {
+		t.Errorf("expected error for unknown profile")
+	}
+}
+
+func TestScaledClamping(t *testing.T) {
+	c := Config{Scale: 0, Seed: 1}
+	if got := c.scaled(100); got != 100 {
+		t.Errorf("scaled(100) with zero scale = %d, want 100", got)
+	}
+	c = Config{Scale: 0.001, Seed: 1}
+	if got := c.scaled(100); got != 1 {
+		t.Errorf("tiny scale should clamp to 1, got %d", got)
+	}
+	c = Config{Scale: 2, Seed: 1}
+	if got := c.scaled(100); got != 200 {
+		t.Errorf("scaled(100)*2 = %d, want 200", got)
+	}
+}
+
+func TestSkewedIndexBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		idx := skewedIndex(rng, 5, 1.5)
+		if idx < 0 || idx >= 5 {
+			t.Fatalf("skewedIndex out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] <= counts[4] {
+		t.Errorf("expected skew towards index 0: %v", counts)
+	}
+}
+
+func TestKeywordIDRoundTrip(t *testing.T) {
+	for i, k := range Keywords {
+		if got := keywordID(k); got != i+1 {
+			t.Errorf("keywordID(%q) = %d, want %d", k, got, i+1)
+		}
+	}
+	if got := keywordID("not-a-keyword"); got != 1 {
+		t.Errorf("unknown keyword should fall back to 1, got %d", got)
+	}
+}
+
+func TestCatalogsAreConsistent(t *testing.T) {
+	for _, cat := range []struct {
+		name string
+		c    interface {
+			NumRelations() int
+			NumAttributes() int
+		}
+	}{
+		{"imdb", IMDBCatalog()},
+		{"tpch", TPCHCatalog()},
+		{"corp", CorpCatalog()},
+	} {
+		if cat.c.NumRelations() < 5 {
+			t.Errorf("%s: expected at least 5 relations, got %d", cat.name, cat.c.NumRelations())
+		}
+		if cat.c.NumAttributes() < 10 {
+			t.Errorf("%s: expected at least 10 attributes, got %d", cat.name, cat.c.NumAttributes())
+		}
+	}
+}
+
+func TestIMDBForeignKeyIntegrity(t *testing.T) {
+	db, err := GenerateIMDB(Config{Scale: 0.2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	for _, fk := range cat.ForeignKeys() {
+		from := db.Table(fk.FromTable)
+		toIdx := db.Table(fk.ToTable).Index(fk.ToColumn)
+		if toIdx == nil {
+			// Build one on the fly for the check.
+			if err := db.Table(fk.ToTable).BuildIndex(fk.ToColumn); err != nil {
+				t.Fatal(err)
+			}
+			toIdx = db.Table(fk.ToTable).Index(fk.ToColumn)
+		}
+		step := from.NumRows()/200 + 1
+		for i := 0; i < from.NumRows(); i += step {
+			v, err := from.Value(fk.FromColumn, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(toIdx.Lookup(v)) == 0 {
+				t.Fatalf("dangling foreign key %s.%s=%v (row %d) -> %s.%s",
+					fk.FromTable, fk.FromColumn, v, i, fk.ToTable, fk.ToColumn)
+			}
+		}
+	}
+}
+
+var sinkDB *storage.Database
+
+func BenchmarkGenerateIMDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db, err := GenerateIMDB(Config{Scale: 0.2, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkDB = db
+	}
+}

@@ -1,0 +1,192 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neo/internal/schema"
+	"neo/internal/storage"
+)
+
+// TPCHCatalog returns the catalog of the TPC-H-like profile: a classic
+// decision-support star/snowflake schema with uniform, independent data.
+func TPCHCatalog() *schema.Catalog {
+	tables := []*schema.Table{
+		{Name: "region", PrimaryKey: "r_regionkey", Columns: []schema.Column{
+			{Name: "r_regionkey", Type: schema.IntType},
+			{Name: "r_name", Type: schema.StringType, Distinct: 5},
+		}},
+		{Name: "nation", PrimaryKey: "n_nationkey", Columns: []schema.Column{
+			{Name: "n_nationkey", Type: schema.IntType},
+			{Name: "n_name", Type: schema.StringType, Distinct: 25},
+			{Name: "n_regionkey", Type: schema.IntType, Distinct: 5},
+		}},
+		{Name: "supplier", PrimaryKey: "s_suppkey", Columns: []schema.Column{
+			{Name: "s_suppkey", Type: schema.IntType},
+			{Name: "s_nationkey", Type: schema.IntType, Distinct: 25},
+			{Name: "s_acctbal", Type: schema.IntType},
+		}},
+		{Name: "customer", PrimaryKey: "c_custkey", Columns: []schema.Column{
+			{Name: "c_custkey", Type: schema.IntType},
+			{Name: "c_nationkey", Type: schema.IntType, Distinct: 25},
+			{Name: "c_mktsegment", Type: schema.StringType, Distinct: 5},
+			{Name: "c_acctbal", Type: schema.IntType},
+		}},
+		{Name: "orders", PrimaryKey: "o_orderkey", Columns: []schema.Column{
+			{Name: "o_orderkey", Type: schema.IntType},
+			{Name: "o_custkey", Type: schema.IntType},
+			{Name: "o_orderstatus", Type: schema.StringType, Distinct: 3},
+			{Name: "o_orderyear", Type: schema.IntType, Distinct: 7},
+			{Name: "o_orderpriority", Type: schema.StringType, Distinct: 5},
+		}},
+		{Name: "lineitem", PrimaryKey: "l_linenumber", Columns: []schema.Column{
+			{Name: "l_linenumber", Type: schema.IntType},
+			{Name: "l_orderkey", Type: schema.IntType},
+			{Name: "l_partkey", Type: schema.IntType},
+			{Name: "l_suppkey", Type: schema.IntType},
+			{Name: "l_quantity", Type: schema.IntType, Distinct: 50},
+			{Name: "l_returnflag", Type: schema.StringType, Distinct: 3},
+			{Name: "l_shipyear", Type: schema.IntType, Distinct: 7},
+		}},
+		{Name: "part", PrimaryKey: "p_partkey", Columns: []schema.Column{
+			{Name: "p_partkey", Type: schema.IntType},
+			{Name: "p_brand", Type: schema.StringType, Distinct: 25},
+			{Name: "p_type", Type: schema.StringType, Distinct: 30},
+			{Name: "p_size", Type: schema.IntType, Distinct: 50},
+		}},
+		{Name: "partsupp", PrimaryKey: "ps_id", Columns: []schema.Column{
+			{Name: "ps_id", Type: schema.IntType},
+			{Name: "ps_partkey", Type: schema.IntType},
+			{Name: "ps_suppkey", Type: schema.IntType},
+			{Name: "ps_availqty", Type: schema.IntType},
+		}},
+	}
+	fks := []schema.ForeignKey{
+		{FromTable: "nation", FromColumn: "n_regionkey", ToTable: "region", ToColumn: "r_regionkey"},
+		{FromTable: "supplier", FromColumn: "s_nationkey", ToTable: "nation", ToColumn: "n_nationkey"},
+		{FromTable: "customer", FromColumn: "c_nationkey", ToTable: "nation", ToColumn: "n_nationkey"},
+		{FromTable: "orders", FromColumn: "o_custkey", ToTable: "customer", ToColumn: "c_custkey"},
+		{FromTable: "lineitem", FromColumn: "l_orderkey", ToTable: "orders", ToColumn: "o_orderkey"},
+		{FromTable: "lineitem", FromColumn: "l_partkey", ToTable: "part", ToColumn: "p_partkey"},
+		{FromTable: "lineitem", FromColumn: "l_suppkey", ToTable: "supplier", ToColumn: "s_suppkey"},
+		{FromTable: "partsupp", FromColumn: "ps_partkey", ToTable: "part", ToColumn: "p_partkey"},
+		{FromTable: "partsupp", FromColumn: "ps_suppkey", ToTable: "supplier", ToColumn: "s_suppkey"},
+	}
+	indexes := []schema.Index{
+		{Table: "orders", Column: "o_custkey"},
+		{Table: "lineitem", Column: "l_orderkey"},
+		{Table: "lineitem", Column: "l_partkey"},
+		{Table: "partsupp", Column: "ps_partkey"},
+	}
+	return schema.MustNewCatalog(tables, fks, indexes)
+}
+
+// GenerateTPCH generates the uniform decision-support database.
+func GenerateTPCH(cfg Config) (*storage.Database, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	cat := TPCHCatalog()
+	db := storage.NewDatabase(cat)
+
+	regions := []string{"africa", "america", "asia", "europe", "middle east"}
+	for i, r := range regions {
+		if err := db.Table("region").AppendRow(storage.IntValue(int64(i+1)), storage.StringValue(r)); err != nil {
+			return nil, err
+		}
+	}
+	nNations := 25
+	for i := 1; i <= nNations; i++ {
+		if err := db.Table("nation").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.StringValue(fmt.Sprintf("nation-%d", i)),
+			storage.IntValue(int64(1+(i-1)%5)),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	nSupp := cfg.scaled(60)
+	for i := 1; i <= nSupp; i++ {
+		if err := db.Table("supplier").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(1+rng.Intn(nNations))),
+			storage.IntValue(int64(rng.Intn(10000))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	segments := []string{"automobile", "building", "furniture", "household", "machinery"}
+	nCust := cfg.scaled(400)
+	for i := 1; i <= nCust; i++ {
+		if err := db.Table("customer").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(1+rng.Intn(nNations))),
+			storage.StringValue(segments[rng.Intn(len(segments))]),
+			storage.IntValue(int64(rng.Intn(10000))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	nPart := cfg.scaled(300)
+	brands := 25
+	types := []string{"standard", "small", "medium", "large", "economy", "promo"}
+	for i := 1; i <= nPart; i++ {
+		if err := db.Table("part").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.StringValue(fmt.Sprintf("brand#%d", 1+rng.Intn(brands))),
+			storage.StringValue(types[rng.Intn(len(types))]),
+			storage.IntValue(int64(1+rng.Intn(50))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	nPS := cfg.scaled(900)
+	for i := 1; i <= nPS; i++ {
+		if err := db.Table("partsupp").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(1+rng.Intn(nPart))),
+			storage.IntValue(int64(1+rng.Intn(nSupp))),
+			storage.IntValue(int64(rng.Intn(1000))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	statuses := []string{"open", "fulfilled", "pending"}
+	priorities := []string{"1-urgent", "2-high", "3-medium", "4-low", "5-none"}
+	nOrders := cfg.scaled(1800)
+	for i := 1; i <= nOrders; i++ {
+		if err := db.Table("orders").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(1+rng.Intn(nCust))),
+			storage.StringValue(statuses[rng.Intn(len(statuses))]),
+			storage.IntValue(int64(1992+rng.Intn(7))),
+			storage.StringValue(priorities[rng.Intn(len(priorities))]),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	flags := []string{"a", "n", "r"}
+	nLine := cfg.scaled(5400)
+	for i := 1; i <= nLine; i++ {
+		if err := db.Table("lineitem").AppendRow(
+			storage.IntValue(int64(i)),
+			storage.IntValue(int64(1+rng.Intn(nOrders))),
+			storage.IntValue(int64(1+rng.Intn(nPart))),
+			storage.IntValue(int64(1+rng.Intn(nSupp))),
+			storage.IntValue(int64(1+rng.Intn(50))),
+			storage.StringValue(flags[rng.Intn(len(flags))]),
+			storage.IntValue(int64(1992+rng.Intn(7))),
+		); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := db.BuildIndexes(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"neo/internal/datagen"
+	"neo/internal/executor"
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/storage"
+)
+
+func imdb(t testing.TB) *storage.Database {
+	t.Helper()
+	db, err := datagen.GenerateIMDB(datagen.Config{Scale: 0.3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func loveQuery() *query.Query {
+	return query.New("love",
+		[]string{"title", "movie_keyword", "keyword"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_keyword", LeftColumn: "keyword_id", RightTable: "keyword", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "keyword", Column: "keyword", Op: query.Eq, Value: storage.StringValue("love")},
+		})
+}
+
+func goodPlan(q *query.Query) *plan.Plan {
+	// Filtered keyword first, then movie_keyword, then title: small
+	// intermediates throughout.
+	return &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.HashJoin,
+			plan.Join2(plan.HashJoin, plan.Leaf("keyword", plan.TableScan), plan.Leaf("movie_keyword", plan.TableScan)),
+			plan.Leaf("title", plan.TableScan)),
+	}}
+}
+
+func badPlan(q *query.Query) *plan.Plan {
+	// title ⋈ movie_keyword first (large intermediate), keyword last, with
+	// non-indexed loop joins: should be much slower on every engine.
+	return &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.LoopJoin,
+			plan.Join2(plan.LoopJoin, plan.Leaf("title", plan.TableScan), plan.Leaf("movie_keyword", plan.TableScan)),
+			plan.Leaf("keyword", plan.TableScan)),
+	}}
+}
+
+func TestProfilesAndLookup(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("expected 4 profiles, got %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if p.CostScale <= 0 || p.Parallelism <= 0 || p.SeqRowCost <= 0 {
+			t.Errorf("profile %s has non-positive coefficients: %+v", p.Name, p)
+		}
+	}
+	for _, want := range []string{"postgres", "sqlite", "engine-m", "engine-o"} {
+		if !names[want] {
+			t.Errorf("missing profile %q", want)
+		}
+		if _, err := ProfileByName(want); err != nil {
+			t.Errorf("ProfileByName(%q): %v", want, err)
+		}
+	}
+	if _, err := ProfileByName("db2"); err == nil {
+		t.Errorf("expected error for unknown profile")
+	}
+}
+
+func TestExecuteProducesPositiveLatency(t *testing.T) {
+	db := imdb(t)
+	q := loveQuery()
+	for _, prof := range Profiles() {
+		e := New(prof, db)
+		lat, res, err := e.Execute(goodPlan(q))
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if lat <= 0 {
+			t.Errorf("%s: latency should be positive, got %f", prof.Name, lat)
+		}
+		if res.OutputRows <= 0 {
+			t.Errorf("%s: expected non-empty result", prof.Name)
+		}
+		if e.Executions() != 1 {
+			t.Errorf("%s: Executions = %d, want 1", prof.Name, e.Executions())
+		}
+		if e.SimulatedTimeMS() <= 0 {
+			t.Errorf("%s: SimulatedTimeMS should accumulate", prof.Name)
+		}
+	}
+}
+
+func TestBadPlanIsSlowerOnEveryEngine(t *testing.T) {
+	db := imdb(t)
+	q := loveQuery()
+	for _, prof := range Profiles() {
+		e := New(prof, db)
+		goodLat, _, err := e.Execute(goodPlan(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		badLat, _, err := e.Execute(badPlan(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if badLat <= goodLat {
+			t.Errorf("%s: bad plan (%.2fms) should be slower than good plan (%.2fms)", prof.Name, badLat, goodLat)
+		}
+		// The blow-up should be substantial (order of magnitude-ish), which
+		// is what gives Neo a learnable signal.
+		if badLat < 3*goodLat {
+			t.Errorf("%s: expected a large gap, got good=%.2f bad=%.2f", prof.Name, goodLat, badLat)
+		}
+	}
+}
+
+func TestCostResultDeterministicAndNoiseBounded(t *testing.T) {
+	db := imdb(t)
+	q := loveQuery()
+	e := New(PostgreSQLProfile(), db)
+	p := goodPlan(q)
+	res, err := e.Exec.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := e.CostResult(p.Roots[0], res.Nodes)
+	c2 := e.CostResult(p.Roots[0], res.Nodes)
+	if c1 != c2 {
+		t.Errorf("CostResult should be deterministic: %f vs %f", c1, c2)
+	}
+	// Execute adds bounded multiplicative noise around the deterministic cost.
+	for i := 0; i < 20; i++ {
+		lat, _, err := e.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lat-c1)/c1 > e.Profile.NoiseFraction+1e-9 {
+			t.Errorf("latency %f deviates more than noise fraction from %f", lat, c1)
+		}
+	}
+}
+
+func TestIndexNestedLoopBeatsNaiveLoop(t *testing.T) {
+	db := imdb(t)
+	q := query.New("mkt",
+		[]string{"movie_keyword", "title"},
+		[]query.JoinPredicate{{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"}},
+		nil)
+	inl := &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.LoopJoin, plan.Leaf("movie_keyword", plan.TableScan), plan.Leaf("title", plan.IndexScan)),
+	}}
+	naive := &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.LoopJoin, plan.Leaf("movie_keyword", plan.TableScan), plan.Leaf("title", plan.TableScan)),
+	}}
+	e := New(SQLiteProfile(), db)
+	inlLat, _, err := e.Execute(inl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveLat, _, err := e.Execute(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inlLat >= naiveLat {
+		t.Errorf("index nested loop (%.2f) should beat naive nested loop (%.2f)", inlLat, naiveLat)
+	}
+}
+
+func TestMergeJoinBenefitsFromSortedInput(t *testing.T) {
+	db := imdb(t)
+	q := query.New("mkt",
+		[]string{"movie_keyword", "title"},
+		[]query.JoinPredicate{{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"}},
+		nil)
+	p := &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.MergeJoin, plan.Leaf("movie_keyword", plan.TableScan), plan.Leaf("title", plan.TableScan)),
+	}}
+	e := New(EngineOProfile(), db)
+	res, err := e.Exec.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSort := e.CostResult(p.Roots[0], res.Nodes)
+	// Pretend both inputs were sorted: cost must strictly drop.
+	for _, ns := range res.Nodes {
+		ns.LeftSorted = true
+		ns.RightSorted = true
+	}
+	noSort := e.CostResult(p.Roots[0], res.Nodes)
+	if noSort >= withSort {
+		t.Errorf("pre-sorted merge join (%.2f) should be cheaper than sorting (%.2f)", noSort, withSort)
+	}
+}
+
+func TestEnginesRankPlansDifferently(t *testing.T) {
+	// SQLite (weak hash join, strong index loops) and EngineM (strong hash
+	// join) should price a hash-heavy plan differently relative to an
+	// index-loop plan, which is why Neo learns per-engine policies.
+	db := imdb(t)
+	q := query.New("mkt",
+		[]string{"movie_keyword", "title"},
+		[]query.JoinPredicate{{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"}},
+		nil)
+	hash := &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.HashJoin, plan.Leaf("movie_keyword", plan.TableScan), plan.Leaf("title", plan.TableScan)),
+	}}
+	inl := &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.LoopJoin, plan.Leaf("movie_keyword", plan.TableScan), plan.Leaf("title", plan.IndexScan)),
+	}}
+	ratio := func(prof Profile) float64 {
+		e := New(prof, db)
+		hres, _ := e.Exec.Execute(hash)
+		ires, _ := e.Exec.Execute(inl)
+		return e.CostResult(hash.Roots[0], hres.Nodes) / e.CostResult(inl.Roots[0], ires.Nodes)
+	}
+	sqliteRatio := ratio(SQLiteProfile())
+	mRatio := ratio(EngineMProfile())
+	if sqliteRatio <= mRatio {
+		t.Errorf("hash/loop cost ratio should be higher on sqlite (%.2f) than engine-m (%.2f)", sqliteRatio, mRatio)
+	}
+}
+
+func TestCostResultHandlesMissingStats(t *testing.T) {
+	e := New(PostgreSQLProfile(), imdb(t))
+	root := plan.Leaf("title", plan.TableScan)
+	if got := e.CostResult(root, map[*plan.Node]*executor.NodeStats{}); got < 0 {
+		t.Errorf("cost should not be negative")
+	}
+}

@@ -1,0 +1,390 @@
+// Package nn is a small, dependency-free neural-network library providing
+// exactly the primitives Neo's value network needs: fully connected layers,
+// leaky rectified linear units, layer normalization, an L2 loss and the Adam
+// optimizer, all with explicit forward/backward passes.
+//
+// The design is deliberately simple — per-sample forward/backward with
+// gradient accumulation — because the value network is small (tens of
+// thousands of parameters) and the bottleneck in the reproduction is plan
+// execution, not network training.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable parameter vector with its accumulated gradient.
+type Param struct {
+	// Name identifies the parameter for debugging.
+	Name string
+	// Value holds the parameter values.
+	Value []float64
+	// Grad accumulates gradients between optimizer steps.
+	Grad []float64
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is any component with trainable parameters.
+type Layer interface {
+	// Params returns the layer's trainable parameters.
+	Params() []*Param
+}
+
+// Linear is a fully connected layer computing y = W·x + b.
+type Linear struct {
+	In, Out int
+	W       *Param // Out×In, row-major
+	B       *Param // Out
+}
+
+// NewLinear creates a fully connected layer with Kaiming-uniform
+// initialisation.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   &Param{Name: fmt.Sprintf("linear_%dx%d_w", out, in), Value: make([]float64, in*out), Grad: make([]float64, in*out)},
+		B:   &Param{Name: fmt.Sprintf("linear_%dx%d_b", out, in), Value: make([]float64, out), Grad: make([]float64, out)},
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range l.W.Value {
+		l.W.Value[i] = (rng.Float64()*2 - 1) * bound
+	}
+	return l
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward computes W·x + b.
+func (l *Linear) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: Linear.Forward input size %d, want %d", len(x), l.In))
+	}
+	y := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		sum := l.B.Value[o]
+		row := l.W.Value[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients for the given input and output
+// gradient, and returns the gradient with respect to the input.
+func (l *Linear) Backward(x, gradOut []float64) []float64 {
+	gradIn := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := gradOut[o]
+		l.B.Grad[o] += g
+		row := l.W.Value[o*l.In : (o+1)*l.In]
+		gradRow := l.W.Grad[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			gradRow[i] += g * xi
+			gradIn[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// LeakyReLU is the leaky rectified linear unit used throughout the paper's
+// network (negative inputs are scaled by Alpha).
+type LeakyReLU struct {
+	Alpha float64
+}
+
+// NewLeakyReLU returns a leaky ReLU with the conventional slope of 0.01.
+func NewLeakyReLU() *LeakyReLU { return &LeakyReLU{Alpha: 0.01} }
+
+// Params implements Layer (no trainable parameters).
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Forward applies the activation elementwise.
+func (r *LeakyReLU) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			y[i] = v
+		} else {
+			y[i] = r.Alpha * v
+		}
+	}
+	return y
+}
+
+// Backward returns the gradient with respect to the input.
+func (r *LeakyReLU) Backward(x, gradOut []float64) []float64 {
+	gradIn := make([]float64, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			gradIn[i] = gradOut[i]
+		} else {
+			gradIn[i] = r.Alpha * gradOut[i]
+		}
+	}
+	return gradIn
+}
+
+// LayerNorm normalises its input to zero mean and unit variance and applies a
+// learned affine transform, as in Ba et al. (used by the paper to stabilise
+// training).
+type LayerNorm struct {
+	Dim   int
+	Gamma *Param
+	Beta  *Param
+	Eps   float64
+}
+
+// NewLayerNorm creates a layer-normalisation layer of the given width.
+func NewLayerNorm(dim int) *LayerNorm {
+	ln := &LayerNorm{
+		Dim:   dim,
+		Gamma: &Param{Name: fmt.Sprintf("layernorm_%d_gamma", dim), Value: make([]float64, dim), Grad: make([]float64, dim)},
+		Beta:  &Param{Name: fmt.Sprintf("layernorm_%d_beta", dim), Value: make([]float64, dim), Grad: make([]float64, dim)},
+		Eps:   1e-5,
+	}
+	for i := range ln.Gamma.Value {
+		ln.Gamma.Value[i] = 1
+	}
+	return ln
+}
+
+// Params implements Layer.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+
+// Forward normalises x.
+func (ln *LayerNorm) Forward(x []float64) []float64 {
+	mean, std := meanStd(x, ln.Eps)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = ln.Gamma.Value[i]*(v-mean)/std + ln.Beta.Value[i]
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients and returns the input gradient.
+func (ln *LayerNorm) Backward(x, gradOut []float64) []float64 {
+	n := float64(len(x))
+	mean, std := meanStd(x, ln.Eps)
+	xhat := make([]float64, len(x))
+	for i, v := range x {
+		xhat[i] = (v - mean) / std
+	}
+	// Gradients w.r.t. gamma/beta.
+	dxhat := make([]float64, len(x))
+	for i := range x {
+		ln.Gamma.Grad[i] += gradOut[i] * xhat[i]
+		ln.Beta.Grad[i] += gradOut[i]
+		dxhat[i] = gradOut[i] * ln.Gamma.Value[i]
+	}
+	// Gradient w.r.t. input (standard layer-norm backward).
+	var sumDxhat, sumDxhatXhat float64
+	for i := range x {
+		sumDxhat += dxhat[i]
+		sumDxhatXhat += dxhat[i] * xhat[i]
+	}
+	gradIn := make([]float64, len(x))
+	for i := range x {
+		gradIn[i] = (dxhat[i] - sumDxhat/n - xhat[i]*sumDxhatXhat/n) / std
+	}
+	return gradIn
+}
+
+func meanStd(x []float64, eps float64) (float64, float64) {
+	if len(x) == 0 {
+		return 0, 1
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	variance := 0.0
+	for _, v := range x {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(x))
+	return mean, math.Sqrt(variance + eps)
+}
+
+// L2Loss returns the squared-error loss 0.5·(pred−target)² and its gradient
+// with respect to pred. (The 0.5 factor keeps the gradient simply
+// pred−target; the paper's L2 objective is minimised by the same optimum.)
+func L2Loss(pred, target float64) (loss, grad float64) {
+	d := pred - target
+	return 0.5 * d * d, d
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba), used by the paper for
+// network training.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	step int
+	m    map[*Param][]float64
+	v    map[*Param][]float64
+}
+
+// NewAdam creates an Adam optimizer with the given learning rate and default
+// moment coefficients.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64)}
+}
+
+// Step applies one update to every parameter using its accumulated gradient
+// (optionally scaled by 1/batchSize) and clears the gradients.
+func (a *Adam) Step(params []*Param, batchSize int) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	a.step++
+	scale := 1.0 / float64(batchSize)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.Value))
+			a.v[p] = v
+		}
+		for i := range p.Value {
+			g := p.Grad[i]*scale + a.WeightDecay*p.Value[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Value[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// MLP is a stack of Linear layers with leaky-ReLU activations (and optional
+// layer normalisation) between them. The final layer is linear.
+type MLP struct {
+	Linears []*Linear
+	Norms   []*LayerNorm // nil entries mean "no normalisation after layer i"
+	Act     *LeakyReLU
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes = [64, 128,
+// 64, 32] builds three Linear layers 64→128→64→32. When useNorm is true a
+// LayerNorm is applied after every hidden activation.
+func NewMLP(sizes []int, useNorm bool, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least an input and an output size")
+	}
+	m := &MLP{Act: NewLeakyReLU()}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Linears = append(m.Linears, NewLinear(sizes[i], sizes[i+1], rng))
+		if useNorm && i+2 < len(sizes) {
+			m.Norms = append(m.Norms, NewLayerNorm(sizes[i+1]))
+		} else {
+			m.Norms = append(m.Norms, nil)
+		}
+	}
+	return m
+}
+
+// Params implements Layer.
+func (m *MLP) Params() []*Param {
+	var out []*Param
+	for _, l := range m.Linears {
+		out = append(out, l.Params()...)
+	}
+	for _, n := range m.Norms {
+		if n != nil {
+			out = append(out, n.Params()...)
+		}
+	}
+	return out
+}
+
+// MLPTape records the intermediate activations of one forward pass so that
+// Backward can be computed without re-running the network.
+type MLPTape struct {
+	inputs  [][]float64 // input to each Linear
+	preAct  [][]float64 // Linear outputs (pre-activation)
+	postAct [][]float64 // activation outputs (input to norm, if any)
+	output  []float64
+}
+
+// Output returns the forward result recorded on the tape.
+func (t *MLPTape) Output() []float64 { return t.output }
+
+// Forward runs the MLP and returns a tape holding the activations.
+func (m *MLP) Forward(x []float64) *MLPTape {
+	tape := &MLPTape{}
+	cur := x
+	last := len(m.Linears) - 1
+	for i, lin := range m.Linears {
+		tape.inputs = append(tape.inputs, cur)
+		pre := lin.Forward(cur)
+		tape.preAct = append(tape.preAct, pre)
+		if i == last {
+			tape.postAct = append(tape.postAct, pre)
+			cur = pre
+			continue
+		}
+		act := m.Act.Forward(pre)
+		tape.postAct = append(tape.postAct, act)
+		if m.Norms[i] != nil {
+			cur = m.Norms[i].Forward(act)
+		} else {
+			cur = act
+		}
+	}
+	tape.output = cur
+	return tape
+}
+
+// Backward propagates gradOut through the taped forward pass, accumulating
+// parameter gradients, and returns the gradient with respect to the input.
+func (m *MLP) Backward(tape *MLPTape, gradOut []float64) []float64 {
+	grad := gradOut
+	last := len(m.Linears) - 1
+	for i := last; i >= 0; i-- {
+		if i != last {
+			if m.Norms[i] != nil {
+				grad = m.Norms[i].Backward(tape.postAct[i], grad)
+			}
+			grad = m.Act.Backward(tape.preAct[i], grad)
+		}
+		grad = m.Linears[i].Backward(tape.inputs[i], grad)
+	}
+	return grad
+}
+
+// Concat concatenates vectors.
+func Concat(vs ...[]float64) []float64 {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make([]float64, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}

@@ -1,0 +1,443 @@
+// Package plan models query execution plans exactly as Section 3.1 of the
+// paper defines them: a partial execution plan is a forest of trees whose
+// internal nodes are join operators (hash, merge, loop) and whose leaves are
+// table scans, index scans, or still-unspecified scans over base relations.
+//
+// A complete plan has a single tree and no unspecified scans. The Children
+// relation (one scan specified, or two roots merged by a join operator) is
+// the successor function of Neo's best-first search.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"neo/internal/query"
+	"neo/internal/schema"
+)
+
+// JoinOp identifies a physical join operator.
+type JoinOp int
+
+const (
+	// HashJoin builds a hash table on one input and probes with the other.
+	HashJoin JoinOp = iota
+	// MergeJoin merges two inputs sorted on the join key.
+	MergeJoin
+	// LoopJoin is a nested-loop join (index nested-loop when the inner is
+	// an index scan on the join column).
+	LoopJoin
+)
+
+// NumJoinOps is |J|, the number of physical join operators.
+const NumJoinOps = 3
+
+// AllJoinOps lists every join operator.
+var AllJoinOps = []JoinOp{HashJoin, MergeJoin, LoopJoin}
+
+// String implements fmt.Stringer.
+func (op JoinOp) String() string {
+	switch op {
+	case HashJoin:
+		return "HashJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	case LoopJoin:
+		return "LoopJoin"
+	default:
+		return fmt.Sprintf("JoinOp(%d)", int(op))
+	}
+}
+
+// ScanType identifies how a leaf accesses its base relation.
+type ScanType int
+
+const (
+	// UnspecifiedScan is a scan whose access path has not been chosen yet
+	// (denoted U(r) in the paper).
+	UnspecifiedScan ScanType = iota
+	// TableScan reads the whole table (T(r)).
+	TableScan
+	// IndexScan uses a secondary or primary index (I(r)).
+	IndexScan
+)
+
+// String implements fmt.Stringer.
+func (s ScanType) String() string {
+	switch s {
+	case UnspecifiedScan:
+		return "U"
+	case TableScan:
+		return "T"
+	case IndexScan:
+		return "I"
+	default:
+		return fmt.Sprintf("ScanType(%d)", int(s))
+	}
+}
+
+// Node is one node of a plan tree. Leaf nodes (Left == Right == nil) are
+// scans over Table with access path Scan; internal nodes are joins with
+// operator Join.
+type Node struct {
+	// Join is the join operator; meaningful only for internal nodes.
+	Join JoinOp
+	// Scan is the access path; meaningful only for leaf nodes.
+	Scan ScanType
+	// Table is the scanned base relation; meaningful only for leaf nodes.
+	Table string
+	// Left and Right are the child subtrees (nil for leaves).
+	Left, Right *Node
+}
+
+// Leaf constructs a scan node.
+func Leaf(table string, scan ScanType) *Node {
+	return &Node{Table: table, Scan: scan}
+}
+
+// Join2 constructs a join node over two subtrees.
+func Join2(op JoinOp, left, right *Node) *Node {
+	return &Node{Join: op, Left: left, Right: right}
+}
+
+// IsLeaf reports whether the node is a scan.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tables returns the set of base relations under this node, sorted.
+func (n *Node) Tables() []string {
+	set := map[string]bool{}
+	n.collectTables(set)
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableSet returns the set of base relations under this node.
+func (n *Node) TableSet() map[string]bool {
+	set := map[string]bool{}
+	n.collectTables(set)
+	return set
+}
+
+func (n *Node) collectTables(set map[string]bool) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		set[n.Table] = true
+		return
+	}
+	n.Left.collectTables(set)
+	n.Right.collectTables(set)
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{Join: n.Join, Scan: n.Scan, Table: n.Table, Left: n.Left.Clone(), Right: n.Right.Clone()}
+}
+
+// NumNodes returns the number of nodes in the subtree.
+func (n *Node) NumNodes() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.NumNodes() + n.Right.NumNodes()
+}
+
+// NumUnspecified returns the number of unspecified scans in the subtree.
+func (n *Node) NumUnspecified() int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		if n.Scan == UnspecifiedScan {
+			return 1
+		}
+		return 0
+	}
+	return n.Left.NumUnspecified() + n.Right.NumUnspecified()
+}
+
+// Walk visits every node in the subtree in pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	n.Left.Walk(fn)
+	n.Right.Walk(fn)
+}
+
+// String renders the subtree in the paper's notation, e.g.
+// "(T(D) ⋈M T(A)) ⋈L I(C)".
+func (n *Node) String() string {
+	if n == nil {
+		return "∅"
+	}
+	if n.IsLeaf() {
+		return fmt.Sprintf("%s(%s)", n.Scan, n.Table)
+	}
+	var sym string
+	switch n.Join {
+	case HashJoin:
+		sym = "⋈H"
+	case MergeJoin:
+		sym = "⋈M"
+	default:
+		sym = "⋈L"
+	}
+	return fmt.Sprintf("(%s %s %s)", n.Left, sym, n.Right)
+}
+
+// Plan is a (partial or complete) execution plan for a query: a forest of
+// plan trees covering exactly the query's relations.
+type Plan struct {
+	// Query is the query this plan executes.
+	Query *query.Query
+	// Roots are the trees of the forest. A complete plan has exactly one
+	// root and no unspecified scans.
+	Roots []*Node
+}
+
+// Initial returns the search start state for a query: one unspecified scan
+// per relation (P0 in Section 4.2).
+func Initial(q *query.Query) *Plan {
+	roots := make([]*Node, 0, len(q.Relations))
+	for _, r := range q.Relations {
+		roots = append(roots, Leaf(r, UnspecifiedScan))
+	}
+	return &Plan{Query: q, Roots: roots}
+}
+
+// Clone returns a deep copy of the plan (the query is shared).
+func (p *Plan) Clone() *Plan {
+	roots := make([]*Node, len(p.Roots))
+	for i, r := range p.Roots {
+		roots[i] = r.Clone()
+	}
+	return &Plan{Query: p.Query, Roots: roots}
+}
+
+// IsComplete reports whether the plan is a complete execution plan: a single
+// tree with every scan specified.
+func (p *Plan) IsComplete() bool {
+	if len(p.Roots) != 1 {
+		return false
+	}
+	return p.Roots[0].NumUnspecified() == 0
+}
+
+// NumUnspecified returns the number of unspecified scans across the forest.
+func (p *Plan) NumUnspecified() int {
+	n := 0
+	for _, r := range p.Roots {
+		n += r.NumUnspecified()
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Roots))
+	for i, r := range p.Roots {
+		parts[i] = r.String()
+	}
+	return "[" + strings.Join(parts, "] , [") + "]"
+}
+
+// Signature returns a canonical string uniquely identifying the plan's
+// structure; used by the search to deduplicate states.
+func (p *Plan) Signature() string {
+	parts := make([]string, len(p.Roots))
+	for i, r := range p.Roots {
+		parts[i] = r.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// ChildrenOptions configures the successor enumeration.
+type ChildrenOptions struct {
+	// Catalog, when set, restricts IndexScan choices to relations that have
+	// a usable index (an index on a join column or on a predicate column of
+	// the query).
+	Catalog *schema.Catalog
+	// AllowCrossProducts permits joining two subtrees that share no join
+	// predicate. The default (false) matches conventional optimizers; when
+	// the join graph is connected it does not exclude the optimal plan.
+	AllowCrossProducts bool
+}
+
+// Children enumerates the successor plans of p as defined in Section 4.2:
+// every plan obtainable by (1) specifying one unspecified scan as a table or
+// index scan, or (2) joining two roots of the forest with one of the join
+// operators. A complete plan has no children.
+func (p *Plan) Children(opts ChildrenOptions) []*Plan {
+	if p.IsComplete() {
+		return nil
+	}
+	var out []*Plan
+
+	// (1) Specify an unspecified scan. To keep the branching factor small we
+	// specify the first unspecified scan encountered in each root (left to
+	// right); specifying them in a different order yields the same set of
+	// reachable complete plans.
+	for ri := range p.Roots {
+		leaf := firstUnspecified(p.Roots[ri])
+		if leaf == nil {
+			continue
+		}
+		scans := []ScanType{TableScan}
+		if p.indexUsable(leaf.Table, opts.Catalog) {
+			scans = append(scans, IndexScan)
+		}
+		for _, st := range scans {
+			child := p.Clone()
+			target := firstUnspecified(child.Roots[ri])
+			target.Scan = st
+			out = append(out, child)
+		}
+		break // only expand one unspecified scan per state
+	}
+
+	// (2) Join two roots.
+	for i := 0; i < len(p.Roots); i++ {
+		for j := 0; j < len(p.Roots); j++ {
+			if i == j {
+				continue
+			}
+			if !opts.AllowCrossProducts {
+				if !p.Query.Connected(p.Roots[i].TableSet(), p.Roots[j].TableSet()) {
+					continue
+				}
+			}
+			// Avoid emitting both (i ⋈ j) and (j ⋈ i) for symmetric cases:
+			// we keep both because build/probe sides matter to the cost
+			// model, but only for i < j with each operator, plus the swap.
+			if i > j {
+				continue
+			}
+			for _, op := range AllJoinOps {
+				out = append(out, p.joinRoots(i, j, op))
+				out = append(out, p.joinRoots(j, i, op))
+			}
+		}
+	}
+	return out
+}
+
+// joinRoots returns a copy of p with roots i and j replaced by a single join
+// node (root i becomes the left/outer input).
+func (p *Plan) joinRoots(i, j int, op JoinOp) *Plan {
+	child := p.Clone()
+	left := child.Roots[i]
+	right := child.Roots[j]
+	joined := Join2(op, left, right)
+	var roots []*Node
+	for k, r := range child.Roots {
+		if k == i || k == j {
+			continue
+		}
+		roots = append(roots, r)
+	}
+	roots = append(roots, joined)
+	child.Roots = roots
+	return child
+}
+
+// indexUsable reports whether an index scan is a sensible option for the
+// given relation in this query: the catalog has an index on a column used by
+// a join or column predicate of the query (or on the primary key).
+func (p *Plan) indexUsable(table string, cat *schema.Catalog) bool {
+	if cat == nil {
+		return true
+	}
+	for _, j := range p.Query.Joins {
+		if j.LeftTable == table && cat.HasIndex(table, j.LeftColumn) {
+			return true
+		}
+		if j.RightTable == table && cat.HasIndex(table, j.RightColumn) {
+			return true
+		}
+	}
+	for _, pr := range p.Query.Predicates {
+		if pr.Table == table && cat.HasIndex(table, pr.Column) {
+			return true
+		}
+	}
+	return false
+}
+
+func firstUnspecified(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		if n.Scan == UnspecifiedScan {
+			return n
+		}
+		return nil
+	}
+	if l := firstUnspecified(n.Left); l != nil {
+		return l
+	}
+	return firstUnspecified(n.Right)
+}
+
+// IsSubplanOf reports whether p could be completed into the complete plan f
+// in the sense of Section 3.1: f is obtainable from p by specifying scans
+// and joining p's trees. The check used here is structural: every join node
+// of p must appear (same operator, same relation sets on each side) in f,
+// and every specified scan of p must have the same access path in f.
+func (p *Plan) IsSubplanOf(f *Plan) bool {
+	if len(f.Roots) != 1 {
+		return false
+	}
+	froot := f.Roots[0]
+	for _, r := range p.Roots {
+		if !subtreeEmbedded(r, froot) {
+			return false
+		}
+	}
+	return true
+}
+
+// subtreeEmbedded reports whether the partial subtree r is consistent with
+// some subtree of the complete tree f.
+func subtreeEmbedded(r *Node, f *Node) bool {
+	if f == nil {
+		return false
+	}
+	if nodeConsistent(r, f) {
+		return true
+	}
+	return subtreeEmbedded(r, f.Left) || subtreeEmbedded(r, f.Right)
+}
+
+// nodeConsistent reports whether partial node r is consistent with complete
+// node f at the same position.
+func nodeConsistent(r *Node, f *Node) bool {
+	if r == nil || f == nil {
+		return r == nil && f == nil
+	}
+	if r.IsLeaf() {
+		if !f.IsLeaf() || f.Table != r.Table {
+			return false
+		}
+		return r.Scan == UnspecifiedScan || r.Scan == f.Scan
+	}
+	if f.IsLeaf() {
+		return false
+	}
+	if r.Join != f.Join {
+		return false
+	}
+	return nodeConsistent(r.Left, f.Left) && nodeConsistent(r.Right, f.Right)
+}

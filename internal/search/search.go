@@ -1,0 +1,221 @@
+// Package search implements Neo's DNN-guided plan search (Section 4.2 of the
+// paper): a best-first search over the space of partial execution plans,
+// ordered by the value network's cost predictions, with an anytime budget and
+// a greedy "hurry-up" fallback when the budget expires before a complete
+// plan has been found.
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/schema"
+)
+
+// Scorer predicts the best-possible cost reachable from a (partial) plan.
+// Neo's value network is the intended implementation; tests use synthetic
+// scorers.
+type Scorer interface {
+	Score(p *plan.Plan) float64
+}
+
+// ScorerFunc adapts a function to the Scorer interface.
+type ScorerFunc func(p *plan.Plan) float64
+
+// Score implements Scorer.
+func (f ScorerFunc) Score(p *plan.Plan) float64 { return f(p) }
+
+// Options configures a search.
+type Options struct {
+	// Catalog restricts index-scan children to relations with usable
+	// indexes.
+	Catalog *schema.Catalog
+	// MaxExpansions bounds the number of nodes popped from the frontier; it
+	// is the machine-independent analogue of the paper's wall-clock cutoff
+	// (250 ms ≈ a few hundred expansions for the network sizes used here).
+	MaxExpansions int
+	// TimeBudget optionally bounds wall-clock search time; zero means no
+	// wall-clock limit.
+	TimeBudget time.Duration
+	// AllowCrossProducts permits joining disconnected subtrees.
+	AllowCrossProducts bool
+}
+
+// DefaultOptions returns the options used by the experiments.
+func DefaultOptions(cat *schema.Catalog) Options {
+	return Options{Catalog: cat, MaxExpansions: 512}
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Plan is the best complete plan found.
+	Plan *plan.Plan
+	// Score is the scorer's estimate for that plan.
+	Score float64
+	// Expansions is the number of frontier nodes expanded.
+	Expansions int
+	// Evaluations is the number of scorer invocations.
+	Evaluations int
+	// HurryUp reports whether the greedy fallback produced the plan.
+	HurryUp bool
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// frontierItem is one entry of the priority queue.
+type frontierItem struct {
+	plan  *plan.Plan
+	score float64
+	index int
+}
+
+type frontier []*frontierItem
+
+func (f frontier) Len() int            { return len(f) }
+func (f frontier) Less(i, j int) bool  { return f[i].score < f[j].score }
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i]; f[i].index = i; f[j].index = j }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(*frontierItem)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*f = old[:n-1]
+	return item
+}
+
+// BestFirst runs the DNN-guided best-first search of Section 4.2 and returns
+// the best complete plan found within the budget. The search is anytime:
+// when the budget expires it returns the best complete plan seen so far, or
+// — if none has been completed yet — enters "hurry-up" mode and greedily
+// descends from the most promising frontier node.
+func BestFirst(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
+	if len(q.Relations) == 0 {
+		return nil, fmt.Errorf("search: query %s has no relations", q.ID)
+	}
+	if opts.MaxExpansions <= 0 {
+		opts.MaxExpansions = 512
+	}
+	start := time.Now()
+	childOpts := plan.ChildrenOptions{Catalog: opts.Catalog, AllowCrossProducts: opts.AllowCrossProducts}
+
+	res := &Result{}
+	initial := plan.Initial(q)
+	f := &frontier{}
+	heap.Init(f)
+	res.Evaluations++
+	heap.Push(f, &frontierItem{plan: initial, score: scorer.Score(initial)})
+	seen := map[string]bool{initial.Signature(): true}
+
+	var bestComplete *plan.Plan
+	bestScore := 0.0
+	var lastExpanded *plan.Plan = initial
+
+	budgetExceeded := func() bool {
+		if res.Expansions >= opts.MaxExpansions {
+			return true
+		}
+		if opts.TimeBudget > 0 && time.Since(start) > opts.TimeBudget {
+			return true
+		}
+		return false
+	}
+
+	for f.Len() > 0 && !budgetExceeded() {
+		item := heap.Pop(f).(*frontierItem)
+		res.Expansions++
+		lastExpanded = item.plan
+		if item.plan.IsComplete() {
+			if bestComplete == nil || item.score < bestScore {
+				bestComplete = item.plan
+				bestScore = item.score
+			}
+			// The frontier is ordered by predicted cost, so the first
+			// complete plan popped is the search's best guess; continuing
+			// (anytime behaviour) can still improve it within the budget.
+			continue
+		}
+		for _, child := range item.plan.Children(childOpts) {
+			sig := child.Signature()
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			res.Evaluations++
+			score := scorer.Score(child)
+			if child.IsComplete() && (bestComplete == nil || score < bestScore) {
+				bestComplete = child
+				bestScore = score
+			}
+			heap.Push(f, &frontierItem{plan: child, score: score})
+		}
+	}
+
+	if bestComplete == nil {
+		// Hurry-up mode: greedily descend from the last expanded node.
+		res.HurryUp = true
+		hp, score, evals := greedyDescend(lastExpanded, scorer, childOpts)
+		res.Evaluations += evals
+		bestComplete = hp
+		bestScore = score
+	}
+	if bestComplete == nil || !bestComplete.IsComplete() {
+		return nil, fmt.Errorf("search: no complete plan found for query %s", q.ID)
+	}
+	res.Plan = bestComplete
+	res.Score = bestScore
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Greedy builds a plan by always taking the child with the best predicted
+// cost, without maintaining a frontier. This is the paper's "hurry-up" mode
+// applied from the start, and is equivalent to the greedy action selection
+// of Q-learning-style approaches (DQ); the ablation benchmarks compare it
+// against the full best-first search.
+func Greedy(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
+	if len(q.Relations) == 0 {
+		return nil, fmt.Errorf("search: query %s has no relations", q.ID)
+	}
+	start := time.Now()
+	childOpts := plan.ChildrenOptions{Catalog: opts.Catalog, AllowCrossProducts: opts.AllowCrossProducts}
+	p, score, evals := greedyDescend(plan.Initial(q), scorer, childOpts)
+	if p == nil || !p.IsComplete() {
+		return nil, fmt.Errorf("search: greedy descent failed for query %s", q.ID)
+	}
+	return &Result{Plan: p, Score: score, Evaluations: evals, HurryUp: true, Elapsed: time.Since(start)}, nil
+}
+
+// greedyDescend repeatedly takes the lowest-scoring child until reaching a
+// complete plan.
+func greedyDescend(p *plan.Plan, scorer Scorer, opts plan.ChildrenOptions) (*plan.Plan, float64, int) {
+	evals := 0
+	cur := p
+	curScore := 0.0
+	for !cur.IsComplete() {
+		kids := cur.Children(opts)
+		if len(kids) == 0 {
+			// Retry allowing cross products; if that fails too, give up.
+			if !opts.AllowCrossProducts {
+				opts.AllowCrossProducts = true
+				continue
+			}
+			return nil, 0, evals
+		}
+		best := kids[0]
+		bestScore := scorer.Score(best)
+		evals++
+		for _, k := range kids[1:] {
+			s := scorer.Score(k)
+			evals++
+			if s < bestScore {
+				best, bestScore = k, s
+			}
+		}
+		cur, curScore = best, bestScore
+	}
+	return cur, curScore, evals
+}

@@ -1,0 +1,210 @@
+package search
+
+import (
+	"testing"
+
+	"neo/internal/datagen"
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/storage"
+)
+
+func fiveWayQuery() *query.Query {
+	return query.New("five",
+		[]string{"title", "movie_keyword", "keyword", "movie_info", "info_type"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_keyword", LeftColumn: "keyword_id", RightTable: "keyword", RightColumn: "id"},
+			{LeftTable: "movie_info", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_info", LeftColumn: "info_type_id", RightTable: "info_type", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "keyword", Column: "keyword", Op: query.Eq, Value: storage.StringValue("love")},
+		})
+}
+
+// structuralScorer is a deterministic synthetic cost model: loop joins are
+// "expensive", hash joins and index scans are "cheap". Like the value
+// network, it scores a *partial* plan with the best cost any completion of
+// it could achieve (cost so far plus an optimistic estimate of the remaining
+// joins and scans), so partial and complete plans live on the same scale.
+func structuralScorer(p *plan.Plan) float64 {
+	cost := 0.0
+	for _, r := range p.Roots {
+		r.Walk(func(n *plan.Node) {
+			if n.IsLeaf() {
+				switch n.Scan {
+				case plan.IndexScan, plan.UnspecifiedScan:
+					cost += 0.5 // unspecified scans may still become cheap index scans
+				default:
+					cost += 1.0
+				}
+				return
+			}
+			switch n.Join {
+			case plan.LoopJoin:
+				cost += 20
+			case plan.MergeJoin:
+				cost += 8
+			default:
+				cost += 3
+			}
+		})
+	}
+	// Optimistic completion cost: the remaining roots still need to be
+	// joined, at best with the cheapest operator.
+	cost += float64(len(p.Roots)-1) * 3
+	return cost
+}
+
+func TestBestFirstFindsCompletePlan(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	res, err := BestFirst(q, ScorerFunc(structuralScorer), DefaultOptions(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("plan is not complete: %s", res.Plan)
+	}
+	if got := len(res.Plan.Roots[0].Tables()); got != 5 {
+		t.Errorf("plan covers %d tables, want 5", got)
+	}
+	if res.Expansions == 0 || res.Evaluations == 0 {
+		t.Errorf("expected non-zero search effort: %+v", res)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed should be positive")
+	}
+	// With this scorer, loop joins cost far more than hash joins; the chosen
+	// plan should avoid them entirely.
+	res.Plan.Roots[0].Walk(func(n *plan.Node) {
+		if !n.IsLeaf() && n.Join == plan.LoopJoin {
+			t.Errorf("search chose a loop join despite the scorer penalising it: %s", res.Plan)
+		}
+	})
+}
+
+func TestBestFirstRespectsExpansionBudget(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	res, err := BestFirst(q, ScorerFunc(structuralScorer), Options{Catalog: cat, MaxExpansions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expansions > 3 {
+		t.Errorf("expansions %d exceeded budget 3", res.Expansions)
+	}
+	// With such a tiny budget the search must fall back to hurry-up mode,
+	// and still return a complete plan.
+	if !res.HurryUp {
+		t.Errorf("expected hurry-up mode with a 3-expansion budget")
+	}
+	if !res.Plan.IsComplete() {
+		t.Errorf("hurry-up plan must still be complete")
+	}
+}
+
+func TestLargerBudgetNeverWorse(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	small, err := BestFirst(q, ScorerFunc(structuralScorer), Options{Catalog: cat, MaxExpansions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := BestFirst(q, ScorerFunc(structuralScorer), Options{Catalog: cat, MaxExpansions: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Score > small.Score+1e-9 {
+		t.Errorf("larger budget found a worse plan: %.2f vs %.2f", large.Score, small.Score)
+	}
+}
+
+func TestGreedyVersusBestFirst(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	greedy, err := Greedy(q, ScorerFunc(structuralScorer), DefaultOptions(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !greedy.Plan.IsComplete() || !greedy.HurryUp {
+		t.Fatalf("greedy result malformed: %+v", greedy)
+	}
+	best, err := BestFirst(q, ScorerFunc(structuralScorer), DefaultOptions(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Score > greedy.Score+1e-9 {
+		t.Errorf("best-first (%.2f) should never be worse than greedy (%.2f)", best.Score, greedy.Score)
+	}
+	// Greedy evaluates far fewer states.
+	if greedy.Evaluations >= best.Evaluations {
+		t.Errorf("greedy should evaluate fewer states (%d vs %d)", greedy.Evaluations, best.Evaluations)
+	}
+}
+
+func TestSingleTableQuery(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := query.New("single", []string{"title"}, nil, []query.Predicate{
+		{Table: "title", Column: "production_year", Op: query.Eq, Value: storage.IntValue(2000)},
+	})
+	res, err := BestFirst(q, ScorerFunc(structuralScorer), DefaultOptions(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("single-table plan incomplete")
+	}
+	// The scorer prefers index scans (0.5 vs 1.0).
+	if res.Plan.Roots[0].Scan != plan.IndexScan {
+		t.Errorf("expected index scan, got %s", res.Plan)
+	}
+}
+
+func TestEmptyQueryFails(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	if _, err := BestFirst(&query.Query{ID: "empty"}, ScorerFunc(structuralScorer), DefaultOptions(cat)); err == nil {
+		t.Errorf("expected error for empty query")
+	}
+	if _, err := Greedy(&query.Query{ID: "empty"}, ScorerFunc(structuralScorer), DefaultOptions(cat)); err == nil {
+		t.Errorf("expected error for empty query")
+	}
+}
+
+func TestSearchMinimisesScorer(t *testing.T) {
+	// With an exhaustive budget, the best-first result should be at least as
+	// good as 200 random plans.
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	res, err := BestFirst(q, ScorerFunc(structuralScorer), Options{Catalog: cat, MaxExpansions: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate random complete plans via repeated greedy descents with a
+	// noisy scorer and compare.
+	for trial := 0; trial < 20; trial++ {
+		noisy := ScorerFunc(func(p *plan.Plan) float64 {
+			return structuralScorer(p) * (1 + float64((trial*31)%7)/10)
+		})
+		g, err := Greedy(q, noisy, DefaultOptions(cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if structuralScorer(g.Plan) < res.Score-1e-9 {
+			t.Errorf("found a plan better than best-first's: %.2f < %.2f", structuralScorer(g.Plan), res.Score)
+		}
+	}
+}
+
+func BenchmarkBestFirstFiveWay(b *testing.B) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	opts := DefaultOptions(cat)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BestFirst(q, ScorerFunc(structuralScorer), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neo/internal/datagen"
+	"neo/internal/query"
+	"neo/internal/storage"
+)
+
+func buildStats(t *testing.T) (*Stats, *storage.Database) {
+	t.Helper()
+	db, err := datagen.GenerateIMDB(datagen.Config{Scale: 0.3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, db
+}
+
+func TestBuildCoversAllColumns(t *testing.T) {
+	s, db := buildStats(t)
+	for _, ts := range db.Catalog.Tables() {
+		tstats := s.Table(ts.Name)
+		if tstats == nil {
+			t.Fatalf("missing stats for table %q", ts.Name)
+		}
+		if tstats.NumRows != db.Table(ts.Name).NumRows() {
+			t.Errorf("%s: NumRows %d != %d", ts.Name, tstats.NumRows, db.Table(ts.Name).NumRows())
+		}
+		for _, c := range ts.Columns {
+			if s.Column(ts.Name, c.Name) == nil {
+				t.Errorf("missing stats for %s.%s", ts.Name, c.Name)
+			}
+		}
+	}
+	if s.Column("title", "nope") != nil || s.Column("nope", "x") != nil {
+		t.Errorf("unknown columns should return nil stats")
+	}
+	if s.TableRows("unknown") != 0 {
+		t.Errorf("unknown table should report 0 rows")
+	}
+}
+
+func TestIntHistogramBounds(t *testing.T) {
+	s, db := buildStats(t)
+	cs := s.Column("title", "production_year")
+	if cs.MinInt >= cs.MaxInt {
+		t.Fatalf("bad min/max: %d..%d", cs.MinInt, cs.MaxInt)
+	}
+	total := 0
+	for _, b := range cs.Buckets {
+		total += b
+	}
+	if total != db.Table("title").NumRows() {
+		t.Errorf("histogram counts %d != table rows %d", total, db.Table("title").NumRows())
+	}
+}
+
+func TestSelectivityEquality(t *testing.T) {
+	s, _ := buildStats(t)
+	p := query.Predicate{Table: "info_type", Column: "info", Op: query.Eq, Value: storage.StringValue("genres")}
+	sel := s.Selectivity(p)
+	// info_type has 6 rows, each distinct: selectivity should be ~1/6.
+	if math.Abs(sel-1.0/6.0) > 0.01 {
+		t.Errorf("Selectivity(info_type.info = genres) = %f, want ~0.167", sel)
+	}
+	ne := s.Selectivity(query.Predicate{Table: "info_type", Column: "info", Op: query.Ne, Value: storage.StringValue("genres")})
+	if math.Abs(ne-(1-sel)) > 1e-9 {
+		t.Errorf("Ne selectivity %f should complement Eq %f", ne, sel)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	s, db := buildStats(t)
+	// Count ground truth for production_year > 1990.
+	title := db.Table("title")
+	matched := 0
+	for i := 0; i < title.NumRows(); i++ {
+		v, _ := title.Value("production_year", i)
+		if v.Int > 1990 {
+			matched++
+		}
+	}
+	truth := float64(matched) / float64(title.NumRows())
+	est := s.Selectivity(query.Predicate{Table: "title", Column: "production_year", Op: query.Gt, Value: storage.IntValue(1990)})
+	if math.Abs(est-truth) > 0.15 {
+		t.Errorf("range selectivity estimate %f too far from truth %f", est, truth)
+	}
+	// Lt + Ge should roughly complement.
+	lt := s.Selectivity(query.Predicate{Table: "title", Column: "production_year", Op: query.Lt, Value: storage.IntValue(1990)})
+	if math.Abs((lt+est)-1.0) > 0.2 {
+		t.Errorf("Lt %f + Gt %f should be ~1", lt, est)
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	s, _ := buildStats(t)
+	f := func(year int64, ge bool) bool {
+		op := query.Gt
+		if ge {
+			op = query.Lt
+		}
+		sel := s.Selectivity(query.Predicate{Table: "title", Column: "production_year", Op: op, Value: storage.IntValue(year % 3000)})
+		return sel > 0 && sel <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectivityUnknownColumnDefaults(t *testing.T) {
+	s, _ := buildStats(t)
+	sel := s.Selectivity(query.Predicate{Table: "title", Column: "ghost", Op: query.Eq, Value: storage.IntValue(1)})
+	if sel != 1.0 {
+		t.Errorf("unknown column should give selectivity 1, got %f", sel)
+	}
+}
+
+func TestScanSelectivityIndependence(t *testing.T) {
+	s, _ := buildStats(t)
+	p1 := query.Predicate{Table: "title", Column: "kind", Op: query.Eq, Value: storage.StringValue("movie")}
+	p2 := query.Predicate{Table: "title", Column: "production_year", Op: query.Gt, Value: storage.IntValue(1990)}
+	s1 := s.Selectivity(p1)
+	s2 := s.Selectivity(p2)
+	combined := s.ScanSelectivity("title", []query.Predicate{p1, p2})
+	if math.Abs(combined-s1*s2) > 1e-9 {
+		t.Errorf("combined %f != product %f", combined, s1*s2)
+	}
+	// Predicates on other tables are ignored.
+	other := query.Predicate{Table: "keyword", Column: "keyword", Op: query.Eq, Value: storage.StringValue("love")}
+	if got := s.ScanSelectivity("title", []query.Predicate{other}); got != 1.0 {
+		t.Errorf("foreign predicate should not affect selectivity, got %f", got)
+	}
+}
+
+func TestEstimateScanRows(t *testing.T) {
+	s, db := buildStats(t)
+	rows := s.EstimateScanRows("title", nil)
+	if rows != float64(db.Table("title").NumRows()) {
+		t.Errorf("EstimateScanRows with no predicates = %f, want %d", rows, db.Table("title").NumRows())
+	}
+	selective := s.EstimateScanRows("title", []query.Predicate{
+		{Table: "title", Column: "kind", Op: query.Eq, Value: storage.StringValue("tv")},
+	})
+	if selective >= rows {
+		t.Errorf("selective scan %f should be smaller than full scan %f", selective, rows)
+	}
+	if selective < 1 {
+		t.Errorf("estimates are clamped at >= 1, got %f", selective)
+	}
+}
+
+func TestEstimateJoinRowsInclusionPrinciple(t *testing.T) {
+	s, db := buildStats(t)
+	j := query.JoinPredicate{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"}
+	l := float64(db.Table("movie_keyword").NumRows())
+	r := float64(db.Table("title").NumRows())
+	est := s.EstimateJoinRows(l, r, j)
+	// A PK-FK join should estimate roughly the size of the FK side.
+	if est < l*0.5 || est > l*2 {
+		t.Errorf("PK-FK join estimate %f should be close to |movie_keyword| = %f", est, l)
+	}
+	// Estimate is monotone in the input sizes.
+	if s.EstimateJoinRows(l/2, r, j) > est {
+		t.Errorf("join estimate should shrink when an input shrinks")
+	}
+}
+
+func TestEstimateJoinRowsUnknownColumns(t *testing.T) {
+	s, _ := buildStats(t)
+	j := query.JoinPredicate{LeftTable: "x", LeftColumn: "y", RightTable: "z", RightColumn: "w"}
+	if got := s.EstimateJoinRows(10, 20, j); got != 200 {
+		t.Errorf("with unknown distinct counts the estimate degenerates to cross product: got %f", got)
+	}
+}
+
+func TestErrorModel(t *testing.T) {
+	none := NewErrorModel(0, 1)
+	if got := none.Perturb(1000); got != 1000 {
+		t.Errorf("zero-order error model must be identity, got %f", got)
+	}
+	var nilModel *ErrorModel
+	if got := nilModel.Perturb(55); got != 55 {
+		t.Errorf("nil error model must be identity, got %f", got)
+	}
+	two := NewErrorModel(2, 7)
+	maxRatio := 0.0
+	for i := 0; i < 200; i++ {
+		p := two.Perturb(1000)
+		ratio := math.Abs(math.Log10(p / 1000))
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+		if ratio > 2.0001 {
+			t.Fatalf("perturbation exceeded 2 orders of magnitude: %f", p)
+		}
+	}
+	if maxRatio < 0.5 {
+		t.Errorf("expected some perturbations near the configured bound, max seen %f", maxRatio)
+	}
+	five := NewErrorModel(5, 8)
+	spread := 0.0
+	for i := 0; i < 200; i++ {
+		p := five.Perturb(1000)
+		r := math.Abs(math.Log10(p / 1000))
+		if r > spread {
+			spread = r
+		}
+	}
+	if spread <= maxRatio {
+		t.Errorf("5-order model should spread wider than 2-order model (%f vs %f)", spread, maxRatio)
+	}
+}
+
+func TestClampSel(t *testing.T) {
+	if clampSel(-1) <= 0 {
+		t.Errorf("clampSel(-1) must be positive")
+	}
+	if clampSel(2) != 1 {
+		t.Errorf("clampSel(2) must be 1")
+	}
+	if clampSel(math.NaN()) <= 0 {
+		t.Errorf("clampSel(NaN) must be positive")
+	}
+	if clampSel(0.5) != 0.5 {
+		t.Errorf("clampSel(0.5) must be identity")
+	}
+}
+
+func TestTPCHSelectivityAccuracy(t *testing.T) {
+	// On uniform data the histogram estimator should be quite accurate —
+	// this mirrors the paper's observation that TPC-H does not stress
+	// cardinality estimation.
+	db, err := datagen.GenerateTPCH(datagen.Config{Scale: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := db.Table("lineitem")
+	matched := 0
+	for i := 0; i < li.NumRows(); i++ {
+		v, _ := li.Value("l_quantity", i)
+		if v.Int > 25 {
+			matched++
+		}
+	}
+	truth := float64(matched) / float64(li.NumRows())
+	est := s.Selectivity(query.Predicate{Table: "lineitem", Column: "l_quantity", Op: query.Gt, Value: storage.IntValue(25)})
+	if math.Abs(est-truth) > 0.1 {
+		t.Errorf("uniform-data estimate %f should be close to truth %f", est, truth)
+	}
+}

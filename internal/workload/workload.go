@@ -1,0 +1,339 @@
+// Package workload generates the query workloads of the paper's evaluation:
+// a JOB-like workload of complex correlated queries over the IMDB-like
+// database, the Ext-JOB set of entirely new queries used for the
+// generalisation experiment, a TPC-H-like template workload, and a Corp-like
+// dashboard workload. It also provides the 80/20 train/test split protocol.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"neo/internal/query"
+	"neo/internal/schema"
+	"neo/internal/storage"
+)
+
+// Workload is a named collection of queries.
+type Workload struct {
+	Name    string
+	Queries []*query.Query
+}
+
+// ByID returns the query with the given id, or nil.
+func (w *Workload) ByID(id string) *query.Query {
+	for _, q := range w.Queries {
+		if q.ID == id {
+			return q
+		}
+	}
+	return nil
+}
+
+// Split partitions the workload into a training set (trainFrac of the
+// queries) and a test set, shuffling deterministically with the given seed.
+// Queries whose IDs share a template tag (the substring between the first
+// and second '-', e.g. "tpch-t03-i2") are kept in the same side of the
+// split, matching the paper's rule of never sharing TPC-H templates between
+// training and test queries.
+func (w *Workload) Split(trainFrac float64, seed int64) (train, test []*query.Query) {
+	rng := rand.New(rand.NewSource(seed))
+	groups := make(map[string][]*query.Query)
+	var keys []string
+	for _, q := range w.Queries {
+		key := templateKey(q.ID)
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], q)
+	}
+	sort.Strings(keys)
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	cut := int(float64(len(keys)) * trainFrac)
+	if cut < 1 && len(keys) > 1 {
+		cut = 1
+	}
+	for i, k := range keys {
+		if i < cut {
+			train = append(train, groups[k]...)
+		} else {
+			test = append(test, groups[k]...)
+		}
+	}
+	return train, test
+}
+
+func templateKey(id string) string {
+	parts := strings.Split(id, "-")
+	if len(parts) >= 2 {
+		return parts[0] + "-" + parts[1]
+	}
+	return id
+}
+
+// genConfig controls random query generation.
+type genConfig struct {
+	name         string
+	count        int
+	minRelations int
+	maxRelations int
+	minPreds     int
+	maxPreds     int
+	likeProb     float64
+	rangeProb    float64
+	templates    int // >0: generate this many templates and instantiate them
+	seed         int64
+	// excludeValues, when non-empty, prevents these predicate values from
+	// being used (Ext-JOB must not share predicates with JOB).
+	excludeValues map[string]bool
+}
+
+// generator creates random-but-valid queries over a database.
+type generator struct {
+	db  *storage.Database
+	cat *schema.Catalog
+	rng *rand.Rand
+	cfg genConfig
+}
+
+// Generate builds a workload according to the configuration.
+func (g *generator) Generate() (*Workload, error) {
+	w := &Workload{Name: g.cfg.name}
+	if g.cfg.templates > 0 {
+		perTemplate := (g.cfg.count + g.cfg.templates - 1) / g.cfg.templates
+		for t := 0; t < g.cfg.templates; t++ {
+			rels, joins := g.randomJoinTree()
+			for i := 0; i < perTemplate && len(w.Queries) < g.cfg.count; i++ {
+				id := fmt.Sprintf("%s-t%02d-i%d", g.cfg.name, t+1, i+1)
+				q, err := g.instantiate(id, rels, joins)
+				if err != nil {
+					return nil, err
+				}
+				w.Queries = append(w.Queries, q)
+			}
+		}
+		return w, nil
+	}
+	for i := 0; len(w.Queries) < g.cfg.count; i++ {
+		if i > g.cfg.count*20 {
+			return nil, fmt.Errorf("workload: unable to generate %d valid queries for %s", g.cfg.count, g.cfg.name)
+		}
+		rels, joins := g.randomJoinTree()
+		id := fmt.Sprintf("%s-%d%c", g.cfg.name, len(w.Queries)/3+1, 'a'+rune(len(w.Queries)%3))
+		q, err := g.instantiate(id, rels, joins)
+		if err != nil {
+			continue
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
+
+// randomJoinTree picks a connected set of relations by random walks over the
+// foreign-key graph, returning the relations and the join predicates
+// connecting them.
+func (g *generator) randomJoinTree() ([]string, []query.JoinPredicate) {
+	tables := g.cat.Tables()
+	n := g.cfg.minRelations
+	if g.cfg.maxRelations > g.cfg.minRelations {
+		n += g.rng.Intn(g.cfg.maxRelations - g.cfg.minRelations + 1)
+	}
+	if n > len(tables) {
+		n = len(tables)
+	}
+	start := tables[g.rng.Intn(len(tables))].Name
+	chosen := map[string]bool{start: true}
+	order := []string{start}
+	var joins []query.JoinPredicate
+	for len(order) < n {
+		// Collect candidate edges from any chosen table to an unchosen
+		// neighbour.
+		type edge struct {
+			fk schema.ForeignKey
+			to string
+		}
+		var candidates []edge
+		for _, t := range order {
+			for _, nb := range g.cat.JoinableNeighbors(t) {
+				if chosen[nb] {
+					continue
+				}
+				fk, ok := g.cat.JoinColumns(t, nb)
+				if !ok {
+					continue
+				}
+				candidates = append(candidates, edge{fk: fk, to: nb})
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		pick := candidates[g.rng.Intn(len(candidates))]
+		chosen[pick.to] = true
+		order = append(order, pick.to)
+		joins = append(joins, query.JoinPredicate{
+			LeftTable: pick.fk.FromTable, LeftColumn: pick.fk.FromColumn,
+			RightTable: pick.fk.ToTable, RightColumn: pick.fk.ToColumn,
+		})
+	}
+	return order, joins
+}
+
+// instantiate adds random column predicates to a join tree and validates the
+// resulting query.
+func (g *generator) instantiate(id string, rels []string, joins []query.JoinPredicate) (*query.Query, error) {
+	nPreds := g.cfg.minPreds
+	if g.cfg.maxPreds > g.cfg.minPreds {
+		nPreds += g.rng.Intn(g.cfg.maxPreds - g.cfg.minPreds + 1)
+	}
+	var preds []query.Predicate
+	attempts := 0
+	for len(preds) < nPreds && attempts < nPreds*10 {
+		attempts++
+		table := rels[g.rng.Intn(len(rels))]
+		p, ok := g.randomPredicate(table)
+		if !ok {
+			continue
+		}
+		if g.cfg.excludeValues[p.Value.String()] {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	q := query.New(id, rels, joins, preds)
+	if err := q.Validate(g.cat); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// randomPredicate samples a predicate on a non-key column of the table, with
+// the comparison value drawn from the actual data so predicates are neither
+// always-empty nor always-true.
+func (g *generator) randomPredicate(table string) (query.Predicate, bool) {
+	ts, ok := g.cat.Table(table)
+	if !ok {
+		return query.Predicate{}, false
+	}
+	// Collect candidate columns: not the primary key, not a foreign key
+	// column.
+	keyCols := map[string]bool{ts.PrimaryKey: true}
+	for _, fk := range g.cat.ForeignKeys() {
+		if fk.FromTable == table {
+			keyCols[fk.FromColumn] = true
+		}
+		if fk.ToTable == table {
+			keyCols[fk.ToColumn] = true
+		}
+	}
+	var candidates []schema.Column
+	for _, c := range ts.Columns {
+		if !keyCols[c.Name] {
+			candidates = append(candidates, c)
+		}
+	}
+	if len(candidates) == 0 {
+		return query.Predicate{}, false
+	}
+	col := candidates[g.rng.Intn(len(candidates))]
+	tab := g.db.Table(table)
+	if tab == nil || tab.NumRows() == 0 {
+		return query.Predicate{}, false
+	}
+	row := g.rng.Intn(tab.NumRows())
+	v, err := tab.Value(col.Name, row)
+	if err != nil {
+		return query.Predicate{}, false
+	}
+	p := query.Predicate{Table: table, Column: col.Name, Value: v, Op: query.Eq}
+	switch {
+	case col.Type == schema.StringType && g.rng.Float64() < g.cfg.likeProb:
+		// Use a substring of the sampled value as a pattern.
+		s := v.Str
+		if len(s) > 3 {
+			start := g.rng.Intn(len(s) - 2)
+			end := start + 2 + g.rng.Intn(len(s)-start-2+1)
+			if end > len(s) {
+				end = len(s)
+			}
+			p.Op = query.Like
+			p.Value = storage.StringValue(s[start:end])
+		}
+	case col.Type == schema.IntType && g.rng.Float64() < g.cfg.rangeProb:
+		if g.rng.Float64() < 0.5 {
+			p.Op = query.Gt
+		} else {
+			p.Op = query.Lt
+		}
+	}
+	return p, true
+}
+
+// JOB generates the JOB-like workload: n complex correlated queries over the
+// IMDB-like database (the paper's JOB has 113 queries with 3-17 relations;
+// the synthetic catalog has 9 relations, so queries span 3-7 of them).
+func JOB(db *storage.Database, n int, seed int64) (*Workload, error) {
+	g := &generator{db: db, cat: db.Catalog, rng: rand.New(rand.NewSource(seed)), cfg: genConfig{
+		name: "job", count: n, minRelations: 3, maxRelations: 7,
+		minPreds: 1, maxPreds: 3, likeProb: 0.3, rangeProb: 0.3, seed: seed,
+	}}
+	return g.Generate()
+}
+
+// ExtJOB generates the Ext-JOB-like workload: n queries that are
+// semantically distinct from the given base workload (no shared predicate
+// values), used by the Figure 13 generalisation experiment.
+func ExtJOB(db *storage.Database, n int, seed int64, base *Workload) (*Workload, error) {
+	exclude := make(map[string]bool)
+	if base != nil {
+		for _, q := range base.Queries {
+			for _, p := range q.Predicates {
+				exclude[p.Value.String()] = true
+			}
+		}
+	}
+	g := &generator{db: db, cat: db.Catalog, rng: rand.New(rand.NewSource(seed + 7001)), cfg: genConfig{
+		name: "extjob", count: n, minRelations: 4, maxRelations: 8,
+		minPreds: 2, maxPreds: 4, likeProb: 0.4, rangeProb: 0.4, seed: seed,
+		excludeValues: exclude,
+	}}
+	w, err := g.Generate()
+	if err != nil {
+		return nil, err
+	}
+	w.Name = "ext-job"
+	return w, nil
+}
+
+// TPCH generates the TPC-H-like workload: template-based queries over the
+// uniform decision-support schema. Queries of the same template share an ID
+// prefix so that Split never places a template on both sides.
+func TPCH(db *storage.Database, n int, seed int64) (*Workload, error) {
+	templates := 20
+	if n < templates {
+		templates = n
+	}
+	g := &generator{db: db, cat: db.Catalog, rng: rand.New(rand.NewSource(seed + 11)), cfg: genConfig{
+		name: "tpch", count: n, minRelations: 2, maxRelations: 6,
+		minPreds: 1, maxPreds: 3, likeProb: 0.0, rangeProb: 0.5, seed: seed,
+		templates: templates,
+	}}
+	return g.Generate()
+}
+
+// Corp generates the Corp-like workload: dashboard-style template queries
+// over the skewed snowflake schema.
+func Corp(db *storage.Database, n int, seed int64) (*Workload, error) {
+	templates := 12
+	if n < templates {
+		templates = n
+	}
+	g := &generator{db: db, cat: db.Catalog, rng: rand.New(rand.NewSource(seed + 23)), cfg: genConfig{
+		name: "corp", count: n, minRelations: 2, maxRelations: 6,
+		minPreds: 1, maxPreds: 3, likeProb: 0.1, rangeProb: 0.4, seed: seed,
+		templates: templates,
+	}}
+	return g.Generate()
+}

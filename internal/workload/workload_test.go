@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"neo/internal/datagen"
+	"neo/internal/storage"
+)
+
+func imdb(t testing.TB) *storage.Database {
+	t.Helper()
+	db, err := datagen.GenerateIMDB(datagen.Config{Scale: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestJOBWorkloadValidAndSized(t *testing.T) {
+	db := imdb(t)
+	w, err := JOB(db, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 40 {
+		t.Fatalf("expected 40 queries, got %d", len(w.Queries))
+	}
+	seenIDs := map[string]bool{}
+	multiJoin := 0
+	for _, q := range w.Queries {
+		if err := q.Validate(db.Catalog); err != nil {
+			t.Errorf("query %s invalid: %v", q.ID, err)
+		}
+		if seenIDs[q.ID] {
+			t.Errorf("duplicate query id %s", q.ID)
+		}
+		seenIDs[q.ID] = true
+		if len(q.Relations) < 3 {
+			t.Errorf("query %s has fewer than 3 relations", q.ID)
+		}
+		if q.NumJoins() >= 3 {
+			multiJoin++
+		}
+		if len(q.Predicates) == 0 {
+			t.Errorf("query %s has no predicates", q.ID)
+		}
+	}
+	if multiJoin < 10 {
+		t.Errorf("expected a good fraction of queries with >= 3 joins, got %d", multiJoin)
+	}
+}
+
+func TestJOBDeterministicPerSeed(t *testing.T) {
+	db := imdb(t)
+	a, err := JOB(db, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JOB(db, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].SQL() != b.Queries[i].SQL() {
+			t.Fatalf("same seed produced different queries:\n%s\n%s", a.Queries[i].SQL(), b.Queries[i].SQL())
+		}
+	}
+	c, err := JOB(db, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Queries {
+		if a.Queries[i].SQL() == c.Queries[i].SQL() {
+			same++
+		}
+	}
+	if same == len(a.Queries) {
+		t.Errorf("different seeds should produce different workloads")
+	}
+}
+
+func TestExtJOBDisjointPredicates(t *testing.T) {
+	db := imdb(t)
+	base, err := JOB(db, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := ExtJOB(db, 12, 1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Queries) != 12 {
+		t.Fatalf("expected 12 ext queries, got %d", len(ext.Queries))
+	}
+	baseVals := map[string]bool{}
+	for _, q := range base.Queries {
+		for _, p := range q.Predicates {
+			baseVals[p.Value.String()] = true
+		}
+	}
+	for _, q := range ext.Queries {
+		if err := q.Validate(db.Catalog); err != nil {
+			t.Errorf("ext query %s invalid: %v", q.ID, err)
+		}
+		for _, p := range q.Predicates {
+			if baseVals[p.Value.String()] {
+				t.Errorf("ext query %s shares predicate value %q with the base workload", q.ID, p.Value)
+			}
+		}
+		if !strings.HasPrefix(q.ID, "extjob") {
+			t.Errorf("ext query id %q should be prefixed extjob", q.ID)
+		}
+	}
+}
+
+func TestTPCHTemplates(t *testing.T) {
+	db, err := datagen.GenerateTPCH(datagen.Config{Scale: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := TPCH(db, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 60 {
+		t.Fatalf("expected 60 queries, got %d", len(w.Queries))
+	}
+	templates := map[string]int{}
+	for _, q := range w.Queries {
+		if err := q.Validate(db.Catalog); err != nil {
+			t.Errorf("query %s invalid: %v", q.ID, err)
+		}
+		templates[templateKey(q.ID)]++
+	}
+	if len(templates) < 10 {
+		t.Errorf("expected at least 10 templates, got %d", len(templates))
+	}
+	// Split must never put the same template on both sides.
+	train, test := w.Split(0.8, 7)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("split produced empty sides: %d/%d", len(train), len(test))
+	}
+	trainT := map[string]bool{}
+	for _, q := range train {
+		trainT[templateKey(q.ID)] = true
+	}
+	for _, q := range test {
+		if trainT[templateKey(q.ID)] {
+			t.Errorf("template %s appears in both train and test", templateKey(q.ID))
+		}
+	}
+}
+
+func TestCorpWorkload(t *testing.T) {
+	db, err := datagen.GenerateCorp(datagen.Config{Scale: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Corp(db, 36, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 36 {
+		t.Fatalf("expected 36 queries, got %d", len(w.Queries))
+	}
+	for _, q := range w.Queries {
+		if err := q.Validate(db.Catalog); err != nil {
+			t.Errorf("query %s invalid: %v", q.ID, err)
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	db := imdb(t)
+	w, err := JOB(db, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := w.Split(0.8, 1)
+	if len(train)+len(test) != len(w.Queries) {
+		t.Fatalf("split lost queries: %d + %d != %d", len(train), len(test), len(w.Queries))
+	}
+	if len(train) <= len(test) {
+		t.Errorf("80/20 split should favour training: %d vs %d", len(train), len(test))
+	}
+	// Different seeds give different splits.
+	train2, _ := w.Split(0.8, 2)
+	same := true
+	if len(train) == len(train2) {
+		for i := range train {
+			if train[i].ID != train2[i].ID {
+				same = false
+				break
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		t.Errorf("different split seeds should shuffle differently")
+	}
+}
+
+func TestByID(t *testing.T) {
+	db := imdb(t)
+	w, err := JOB(db, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := w.Queries[3]
+	if w.ByID(q.ID) != q {
+		t.Errorf("ByID did not find %s", q.ID)
+	}
+	if w.ByID("nope") != nil {
+		t.Errorf("ByID(nope) should be nil")
+	}
+}
+
+func TestTemplateKey(t *testing.T) {
+	if templateKey("tpch-t03-i2") != "tpch-t03" {
+		t.Errorf("templateKey = %q", templateKey("tpch-t03-i2"))
+	}
+	if templateKey("plain") != "plain" {
+		t.Errorf("templateKey(plain) = %q", templateKey("plain"))
+	}
+}

@@ -1,0 +1,369 @@
+// Package neo is the public API of the Neo reproduction: an end-to-end
+// learned query optimizer (Marcus et al., VLDB 2019) together with the
+// simulated substrate it runs on (synthetic databases, execution engines,
+// classical expert optimizers, workload generators).
+//
+// The central entry point is Open, which assembles a System: a synthetic
+// database, a simulated execution engine, the classical optimizers, and a
+// Neo instance ready to be bootstrapped from the expert and refined with
+// reinforcement learning. See examples/ for complete programs.
+package neo
+
+import (
+	"fmt"
+
+	"neo/internal/core"
+	"neo/internal/datagen"
+	"neo/internal/embedding"
+	"neo/internal/engine"
+	"neo/internal/executor"
+	"neo/internal/experiments"
+	"neo/internal/expert"
+	"neo/internal/feature"
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/schema"
+	"neo/internal/search"
+	"neo/internal/stats"
+	"neo/internal/storage"
+	"neo/internal/valuenet"
+	"neo/internal/workload"
+)
+
+// Re-exported types: the facade exposes the substrate's types under stable
+// names so downstream code only imports this package.
+type (
+	// Query is a select-project-equijoin-aggregate query.
+	Query = query.Query
+	// Predicate is a single-table filter.
+	Predicate = query.Predicate
+	// JoinPredicate is an equi-join predicate.
+	JoinPredicate = query.JoinPredicate
+	// Plan is a (partial or complete) execution plan.
+	Plan = plan.Plan
+	// PlanNode is one node of a plan tree.
+	PlanNode = plan.Node
+	// Catalog describes the database schema.
+	Catalog = schema.Catalog
+	// Database is the in-memory column store.
+	Database = storage.Database
+	// Workload is a named set of queries.
+	Workload = workload.Workload
+	// Engine is a simulated execution engine.
+	Engine = engine.Engine
+	// EngineProfile holds an engine's cost coefficients.
+	EngineProfile = engine.Profile
+	// Optimizer is Neo itself (the learned optimizer).
+	Optimizer = core.Neo
+	// ExpertOptimizer is a classical Selinger-style optimizer.
+	ExpertOptimizer = expert.Optimizer
+	// Featurizer converts queries and plans into network inputs.
+	Featurizer = feature.Featurizer
+	// Encoding selects the predicate featurization.
+	Encoding = feature.Encoding
+	// SearchResult reports the outcome of a plan search.
+	SearchResult = search.Result
+	// EpisodeStats summarises one training episode.
+	EpisodeStats = core.EpisodeStats
+	// ExperimentReport is the tabular output of one reproduction experiment.
+	ExperimentReport = experiments.Report
+	// ExperimentConfig scales the experiment suite.
+	ExperimentConfig = experiments.Config
+	// ValueNetConfig configures the value-network architecture.
+	ValueNetConfig = valuenet.Config
+)
+
+// Value and comparison-operator re-exports, so callers can build predicates
+// without importing internal packages.
+type (
+	// Value is a single cell / comparison value.
+	Value = storage.Value
+	// CmpOp is a predicate comparison operator.
+	CmpOp = query.CmpOp
+)
+
+// Comparison operators.
+const (
+	Eq   = query.Eq
+	Ne   = query.Ne
+	Lt   = query.Lt
+	Le   = query.Le
+	Gt   = query.Gt
+	Ge   = query.Ge
+	Like = query.Like
+)
+
+// IntValue constructs an integer comparison value.
+func IntValue(v int64) Value { return storage.IntValue(v) }
+
+// StringValue constructs a string comparison value.
+func StringValue(s string) Value { return storage.StringValue(s) }
+
+// Featurization encodings (Section 3.2 / Section 5 of the paper).
+const (
+	OneHot         = feature.OneHot
+	Histogram      = feature.Histogram
+	RVector        = feature.RVector
+	RVectorNoJoins = feature.RVectorNoJoins
+)
+
+// Cost functions (Section 6.4.4).
+const (
+	WorkloadCost = core.WorkloadCost
+	RelativeCost = core.RelativeCost
+)
+
+// Config describes the system a caller wants to assemble.
+type Config struct {
+	// Dataset selects the synthetic database profile: "imdb" (JOB-like,
+	// correlated), "tpch" (uniform) or "corp" (skewed dashboard).
+	Dataset string
+	// Engine selects the simulated execution engine: "postgres", "sqlite",
+	// "engine-m" or "engine-o".
+	Engine string
+	// Encoding selects the predicate featurization (default RVector).
+	Encoding Encoding
+	// Scale multiplies the synthetic data size (default 0.5).
+	Scale float64
+	// Seed drives every random choice (default 42).
+	Seed int64
+	// SearchExpansions is the plan-search budget (default 256).
+	SearchExpansions int
+	// Episodes is the default number of refinement episodes used by Train
+	// (default 10).
+	Episodes int
+	// ValueNet overrides the value-network architecture (default: a small
+	// network structurally identical to the paper's).
+	ValueNet *ValueNetConfig
+	// Cost selects the optimisation objective (default WorkloadCost).
+	Cost core.CostFunction
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dataset == "" {
+		c.Dataset = "imdb"
+	}
+	if c.Engine == "" {
+		c.Engine = "postgres"
+	}
+	if c.Encoding == "" {
+		c.Encoding = RVector
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.SearchExpansions == 0 {
+		c.SearchExpansions = 256
+	}
+	if c.Episodes == 0 {
+		c.Episodes = 10
+	}
+	return c
+}
+
+// System bundles a synthetic database, a simulated engine, the classical
+// optimizers and a Neo instance.
+type System struct {
+	Config     Config
+	DB         *Database
+	Catalog    *Catalog
+	Stats      *stats.Stats
+	Engine     *Engine
+	Expert     *ExpertOptimizer // PostgreSQL-profile expert (bootstrap source)
+	Native     *ExpertOptimizer // the engine's own native optimizer
+	Featurizer *Featurizer
+	Neo        *Optimizer
+}
+
+// Open assembles a System according to the configuration: it generates the
+// synthetic database, builds statistics, trains the row-vector embedding if
+// the encoding needs one, instantiates the engines and classical optimizers,
+// and creates an untrained Neo.
+func Open(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	profile := datagen.Profile(cfg.Dataset)
+	db, err := datagen.Generate(profile, datagen.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("neo: generating dataset: %w", err)
+	}
+	st, err := stats.Build(db)
+	if err != nil {
+		return nil, fmt.Errorf("neo: building statistics: %w", err)
+	}
+	engProfile, err := engine.ProfileByName(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("neo: %w", err)
+	}
+	eng := engine.New(engProfile, db)
+	pgEngine := engine.New(engine.PostgreSQLProfile(), db)
+	pg := expert.NativeOptimizer(pgEngine, st, db.Catalog)
+	native := expert.NativeOptimizer(eng, st, db.Catalog)
+
+	feat := &feature.Featurizer{
+		Catalog:     db.Catalog,
+		Encoding:    cfg.Encoding,
+		Stats:       st,
+		Cardinality: &feature.HistogramCardinality{Stats: st},
+	}
+	switch cfg.Encoding {
+	case RVector:
+		feat.Embedding = embedding.Train(embedding.DenormalizedSentences(db, 40), embedding.Config{
+			Dim: 16, Epochs: 3, NegativeSamples: 4, LearningRate: 0.05, MinCount: 1, Seed: cfg.Seed,
+		})
+	case RVectorNoJoins:
+		feat.Embedding = embedding.Train(embedding.Sentences(db), embedding.Config{
+			Dim: 16, Epochs: 3, NegativeSamples: 4, LearningRate: 0.05, MinCount: 1, Seed: cfg.Seed,
+		})
+	}
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.SearchExpansions = cfg.SearchExpansions
+	coreCfg.Cost = cfg.Cost
+	coreCfg.Seed = cfg.Seed
+	if cfg.ValueNet != nil {
+		coreCfg.ValueNet = *cfg.ValueNet
+	}
+	n := core.New(eng, feat, coreCfg)
+
+	return &System{
+		Config:     cfg,
+		DB:         db,
+		Catalog:    db.Catalog,
+		Stats:      st,
+		Engine:     eng,
+		Expert:     pg,
+		Native:     native,
+		Featurizer: feat,
+		Neo:        n,
+	}, nil
+}
+
+// GenerateWorkload creates a workload of n queries appropriate for the
+// system's dataset.
+func (s *System) GenerateWorkload(n int) (*Workload, error) {
+	switch s.Config.Dataset {
+	case "tpch":
+		return workload.TPCH(s.DB, n, s.Config.Seed)
+	case "corp":
+		return workload.Corp(s.DB, n, s.Config.Seed)
+	default:
+		return workload.JOB(s.DB, n, s.Config.Seed)
+	}
+}
+
+// GenerateUnseenWorkload creates queries semantically distinct from the
+// given base workload (the Ext-JOB protocol of Section 6.4.2).
+func (s *System) GenerateUnseenWorkload(n int, base *Workload) (*Workload, error) {
+	return workload.ExtJOB(s.DB, n, s.Config.Seed, base)
+}
+
+// Bootstrap collects demonstration experience from the PostgreSQL-profile
+// expert for the given training queries, executes two exploratory random
+// plans per query so the value network sees within-query contrast, and
+// performs the initial value-network training (Section 2, "Expertise
+// Collection" / "Model Building").
+func (s *System) Bootstrap(train []*Query) error {
+	if err := s.Neo.Bootstrap(train, func(q *Query) (*Plan, error) {
+		p, _, err := s.Expert.Optimize(q)
+		return p, err
+	}); err != nil {
+		return err
+	}
+	rp := expert.NewRandomPlanner(s.Catalog, s.Config.Seed+101)
+	return s.Neo.Explore(train, rp.Plan, 2)
+}
+
+// Train runs the configured number of refinement episodes over the training
+// queries (Section 2, "Model Refinement") and returns the per-episode
+// statistics.
+func (s *System) Train(train []*Query) ([]*EpisodeStats, error) {
+	var out []*EpisodeStats
+	for ep := 1; ep <= s.Config.Episodes; ep++ {
+		st, err := s.Neo.RunEpisode(ep, train)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Optimize returns Neo's plan for a query.
+func (s *System) Optimize(q *Query) (*Plan, *SearchResult, error) {
+	return s.Neo.Optimize(q)
+}
+
+// Execute runs a complete plan on the system's engine and returns the
+// simulated latency in milliseconds.
+func (s *System) Execute(p *Plan) (float64, error) {
+	lat, _, err := s.Engine.Execute(p)
+	return lat, err
+}
+
+// NativePlan returns the plan the engine's own (classical) optimizer picks.
+func (s *System) NativePlan(q *Query) (*Plan, error) {
+	p, _, err := s.Native.Optimize(q)
+	return p, err
+}
+
+// ExpertPlan returns the PostgreSQL-profile expert's plan.
+func (s *System) ExpertPlan(q *Query) (*Plan, error) {
+	p, _, err := s.Expert.Optimize(q)
+	return p, err
+}
+
+// Compare executes Neo's plan and the native optimizer's plan for a query
+// and returns both latencies (Neo first).
+func (s *System) Compare(q *Query) (neoLatency, nativeLatency float64, err error) {
+	np, _, err := s.Optimize(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	neoLatency, err = s.Execute(np)
+	if err != nil {
+		return 0, 0, err
+	}
+	bp, err := s.NativePlan(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	nativeLatency, err = s.Execute(bp)
+	return neoLatency, nativeLatency, err
+}
+
+// TrueCardinality returns the exact result cardinality of a query, computed
+// by executing it.
+func (s *System) TrueCardinality(q *Query) (float64, error) {
+	return executor.New(s.DB).Count(q)
+}
+
+// Experiments constructs an experiment environment sharing this package's
+// defaults; use it with RunExperiment to regenerate the paper's tables and
+// figures programmatically.
+func Experiments(cfg ExperimentConfig) (*experiments.Env, error) {
+	return experiments.NewEnv(cfg)
+}
+
+// RunExperiment runs one named reproduction experiment ("table2", "fig9" …
+// "fig17", "nodemo", "searchvsgreedy", "treeconvvsflat").
+func RunExperiment(name string, env *experiments.Env) (*ExperimentReport, error) {
+	return experiments.Run(name, env)
+}
+
+// ExperimentNames lists the available reproduction experiments.
+func ExperimentNames() []string { return experiments.Names() }
+
+// QuickExperiments returns the laptop-scale experiment configuration.
+func QuickExperiments() ExperimentConfig { return experiments.Quick() }
+
+// FullExperiments returns the paper-scale experiment configuration.
+func FullExperiments() ExperimentConfig { return experiments.Full() }
+
+// NewQuery constructs a query from relations, join predicates and column
+// predicates (a thin convenience wrapper over the internal constructor).
+func NewQuery(id string, relations []string, joins []JoinPredicate, preds []Predicate) *Query {
+	return query.New(id, relations, joins, preds)
+}

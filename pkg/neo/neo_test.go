@@ -1,0 +1,170 @@
+package neo
+
+import (
+	"testing"
+)
+
+func smallSystem(t testing.TB, dataset, engineName string, enc Encoding) *System {
+	t.Helper()
+	sys, err := Open(Config{
+		Dataset:          dataset,
+		Engine:           engineName,
+		Encoding:         enc,
+		Scale:            0.15,
+		Seed:             7,
+		SearchExpansions: 32,
+		Episodes:         1,
+		ValueNet: &ValueNetConfig{
+			QueryLayers:  []int{16, 8},
+			TreeChannels: []int{8, 8},
+			HeadLayers:   []int{8},
+			LearningRate: 2e-3,
+			UseLayerNorm: true,
+			Seed:         3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestOpenDefaults(t *testing.T) {
+	sys := smallSystem(t, "", "", Histogram)
+	if sys.Config.Dataset != "imdb" || sys.Config.Engine != "postgres" {
+		t.Errorf("defaults not applied: %+v", sys.Config)
+	}
+	if sys.DB == nil || sys.Catalog == nil || sys.Engine == nil || sys.Neo == nil {
+		t.Fatalf("system is missing components")
+	}
+	if sys.Catalog.NumRelations() == 0 {
+		t.Errorf("catalog should describe relations")
+	}
+}
+
+func TestOpenRejectsUnknowns(t *testing.T) {
+	if _, err := Open(Config{Dataset: "nope", Scale: 0.1}); err == nil {
+		t.Errorf("unknown dataset should error")
+	}
+	if _, err := Open(Config{Engine: "db2", Scale: 0.1}); err == nil {
+		t.Errorf("unknown engine should error")
+	}
+}
+
+func TestEndToEndQuickstartFlow(t *testing.T) {
+	sys := smallSystem(t, "imdb", "postgres", Histogram)
+	wl, err := sys.GenerateWorkload(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := wl.Split(0.8, 1)
+	if err := sys.Bootstrap(train); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != sys.Config.Episodes {
+		t.Errorf("expected %d episode stats, got %d", sys.Config.Episodes, len(stats))
+	}
+	for _, q := range test {
+		neoLat, nativeLat, err := sys.Compare(q)
+		if err != nil {
+			t.Fatalf("Compare(%s): %v", q.ID, err)
+		}
+		if neoLat <= 0 || nativeLat <= 0 {
+			t.Errorf("latencies should be positive: neo=%f native=%f", neoLat, nativeLat)
+		}
+	}
+	// Expert and native plans are available and executable.
+	q := test[0]
+	ep, err := sys.ExpertPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Execute(ep); err != nil {
+		t.Errorf("expert plan does not execute: %v", err)
+	}
+	card, err := sys.TrueCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card < 0 {
+		t.Errorf("cardinality should be non-negative")
+	}
+}
+
+func TestUnseenWorkload(t *testing.T) {
+	sys := smallSystem(t, "imdb", "sqlite", OneHot)
+	base, err := sys.GenerateWorkload(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unseen, err := sys.GenerateUnseenWorkload(3, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unseen.Queries) != 3 {
+		t.Errorf("expected 3 unseen queries, got %d", len(unseen.Queries))
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) == 0 {
+		t.Fatalf("no experiments registered")
+	}
+	q := QuickExperiments()
+	f := FullExperiments()
+	if f.Episodes <= q.Episodes {
+		t.Errorf("full config should use more episodes than quick")
+	}
+	// Building an env and running the cheapest experiment exercises the whole
+	// facade path.
+	cfg := q
+	cfg.Scale = 0.15
+	cfg.TrainQueries, cfg.TestQueries = 4, 2
+	cfg.Episodes = 1
+	cfg.Engines = []string{"postgres"}
+	cfg.Workloads = []string{"job"}
+	cfg.EmbeddingDim = 6
+	env, err := Experiments(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunExperiment("table2", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "table2" || len(rep.Rows) == 0 {
+		t.Errorf("report malformed: %+v", rep)
+	}
+}
+
+func TestNewQueryHelper(t *testing.T) {
+	q := NewQuery("q", []string{"title"}, nil, nil)
+	if q.ID != "q" || len(q.Relations) != 1 {
+		t.Errorf("NewQuery malformed: %+v", q)
+	}
+}
+
+func TestTPCHAndCorpSystems(t *testing.T) {
+	for _, ds := range []string{"tpch", "corp"} {
+		sys := smallSystem(t, ds, "engine-m", Histogram)
+		wl, err := sys.GenerateWorkload(5)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if len(wl.Queries) != 5 {
+			t.Errorf("%s: expected 5 queries, got %d", ds, len(wl.Queries))
+		}
+		p, err := sys.NativePlan(wl.Queries[0])
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if _, err := sys.Execute(p); err != nil {
+			t.Errorf("%s: native plan does not execute: %v", ds, err)
+		}
+	}
+}
