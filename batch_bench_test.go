@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"neo/internal/treeconv"
+	"neo/internal/valuenet"
+)
+
+// scoringFixture builds a value network plus a batch of candidate-plan
+// forests shaped like one best-first expansion: batchSize children of one
+// node, all sharing the query's encoding.
+type scoringFixture struct {
+	net     *valuenet.Network
+	query   []float64
+	queries [][]float64
+	forests [][]*treeconv.Tree
+}
+
+func newScoringFixture(batchSize int) *scoringFixture {
+	const queryDim, planDim = 32, 24
+	rng := rand.New(rand.NewSource(99))
+	randVec := func(dim int) []float64 {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	// A left-deep join tree over ~10 relations: 19 nodes.
+	var buildTree func(n int) *treeconv.Tree
+	buildTree = func(n int) *treeconv.Tree {
+		if n <= 1 {
+			return treeconv.NewLeaf(randVec(planDim))
+		}
+		return treeconv.NewNode(randVec(planDim), buildTree(n-1), treeconv.NewLeaf(randVec(planDim)))
+	}
+	f := &scoringFixture{
+		net:   valuenet.New(queryDim, planDim, valuenet.DefaultConfig()),
+		query: randVec(queryDim),
+	}
+	f.net.FitTargetTransform([]float64{10, 100, 1000})
+	for i := 0; i < batchSize; i++ {
+		f.queries = append(f.queries, f.query)
+		f.forests = append(f.forests, []*treeconv.Tree{buildTree(10)})
+	}
+	return f
+}
+
+// BenchmarkBatchedVsSequentialScoring measures the tentpole speedup of the
+// batched inference pipeline: scoring the 32 children of one search expansion
+// with one PredictBatch call versus 32 per-sample Predict calls.
+//
+// Verify the speedup with:
+//
+//	go test -bench BenchmarkBatchedVsSequentialScoring -run '^$' .
+func BenchmarkBatchedVsSequentialScoring(b *testing.B) {
+	const batchSize = 32
+	f := newScoringFixture(batchSize)
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < batchSize; j++ {
+				f.net.Predict(f.queries[j], f.forests[j])
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.net.PredictBatch(f.queries, f.forests)
+		}
+	})
+}

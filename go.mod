@@ -1,0 +1,3 @@
+module neo
+
+go 1.22

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"neo/internal/engine"
@@ -83,7 +84,10 @@ type Neo struct {
 	// Baseline latencies per query (used by RelativeCost and by the
 	// normalised-latency metrics the figures report).
 	baseline map[string]float64
-	// queryEncCache caches query-level encodings (they never change).
+	// queryEncCache caches query-level encodings (they never change);
+	// encMu guards it so concurrent planners (pkg/neo's PlanAll) can share
+	// one Neo instance.
+	encMu         sync.Mutex
 	queryEncCache map[string][]float64
 	// Accumulated wall-clock time spent training the network, used by the
 	// Figure 11 training-time breakdown.
@@ -137,8 +141,10 @@ func (n *Neo) cost(e Entry) float64 {
 	return e.Latency
 }
 
-// encodeQuery caches query-level encodings.
+// encodeQuery caches query-level encodings. Safe for concurrent use.
 func (n *Neo) encodeQuery(q *query.Query) []float64 {
+	n.encMu.Lock()
+	defer n.encMu.Unlock()
 	if enc, ok := n.queryEncCache[q.ID]; ok {
 		return enc
 	}
@@ -319,14 +325,43 @@ func (n *Neo) Retrain() float64 {
 	return loss
 }
 
-// Scorer returns a search.Scorer that evaluates partial plans with the value
-// network for the given query.
-func (n *Neo) Scorer(q *query.Query) search.Scorer {
-	qEnc := n.encodeQuery(q)
-	return search.ScorerFunc(func(p *plan.Plan) float64 {
-		trees := n.Featurizer.EncodePlan(p)
-		return n.Net.Predict(qEnc, trees)
-	})
+// netScorer scores plans for one query with the value network. ScoreBatch —
+// the search hot path — encodes every plan of the batch and runs one shared
+// batched forward pass; all plans share the query's cached encoding, so the
+// network's query tower runs once per batch.
+type netScorer struct {
+	net  *valuenet.Network
+	feat *feature.Featurizer
+	qEnc []float64
+
+	// queries/forests are reused across ScoreBatch calls.
+	queries [][]float64
+	forests [][]*treeconv.Tree
+}
+
+// ScoreBatch implements search.BatchScorer.
+func (s *netScorer) ScoreBatch(ps []*plan.Plan) []float64 {
+	s.queries = s.queries[:0]
+	s.forests = s.forests[:0]
+	for _, p := range ps {
+		s.queries = append(s.queries, s.qEnc)
+		s.forests = append(s.forests, s.feat.EncodePlan(p))
+	}
+	return s.net.PredictBatch(s.queries, s.forests)
+}
+
+// Score implements search.Scorer (a batch of one).
+func (s *netScorer) Score(p *plan.Plan) float64 {
+	return s.ScoreBatch([]*plan.Plan{p})[0]
+}
+
+// Scorer returns the batched value-network scorer for the given query; it
+// implements both search.BatchScorer (the primary contract) and
+// search.Scorer. Each returned scorer carries its own scratch state, so
+// concurrent searches over the shared network use separate Scorer instances
+// (see pkg/neo's PlanAll).
+func (n *Neo) Scorer(q *query.Query) search.BatchScorer {
+	return &netScorer{net: n.Net, feat: n.Featurizer, qEnc: n.encodeQuery(q)}
 }
 
 // Optimize searches for the best plan for q using the current value network.

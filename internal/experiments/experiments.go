@@ -620,7 +620,7 @@ func AblationTreeConvVsFlat(env *Env) (*Report, error) {
 	}
 	queries := append(append([]*query.Query{}, run.Train...), run.Test...)
 
-	evaluate := func(scorerFor func(q *query.Query) search.Scorer) (float64, error) {
+	evaluate := func(scorerFor func(q *query.Query) search.BatchScorer) (float64, error) {
 		total := 0.0
 		for _, q := range queries {
 			res, err := search.BestFirst(q, scorerFor(q), search.Options{
@@ -639,11 +639,11 @@ func AblationTreeConvVsFlat(env *Env) (*Report, error) {
 		return total, nil
 	}
 
-	treeTotal, err := evaluate(func(q *query.Query) search.Scorer { return run.Neo.Scorer(q) })
+	treeTotal, err := evaluate(func(q *query.Query) search.BatchScorer { return run.Neo.Scorer(q) })
 	if err != nil {
 		return nil, err
 	}
-	flatTotal, err := evaluate(func(q *query.Query) search.Scorer { return flatScorer(run.Neo, q) })
+	flatTotal, err := evaluate(func(q *query.Query) search.BatchScorer { return flatScorer(run.Neo, q) })
 	if err != nil {
 		return nil, err
 	}
@@ -655,7 +655,7 @@ func AblationTreeConvVsFlat(env *Env) (*Report, error) {
 
 // flatScorer scores plans after collapsing the encoded forest into a single
 // summed node.
-func flatScorer(n *core.Neo, q *query.Query) search.Scorer {
+func flatScorer(n *core.Neo, q *query.Query) search.BatchScorer {
 	return search.ScorerFunc(func(p *plan.Plan) float64 {
 		trees := n.EncodePlanTrees(p)
 		if len(trees) == 0 {

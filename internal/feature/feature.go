@@ -8,6 +8,7 @@ package feature
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"neo/internal/embedding"
 	"neo/internal/plan"
@@ -344,10 +345,12 @@ type TrueCardinality struct {
 	Counter interface {
 		Count(q *query.Query) (float64, error)
 	}
+	mu    sync.Mutex
 	cache map[string]float64
 }
 
-// NodeCardinality implements CardinalitySource.
+// NodeCardinality implements CardinalitySource. Safe for concurrent use
+// (concurrent planners reach it through the featurizer).
 func (t *TrueCardinality) NodeCardinality(q *query.Query, n *plan.Node) float64 {
 	if n == nil || t.Counter == nil {
 		return 0
@@ -357,18 +360,29 @@ func (t *TrueCardinality) NodeCardinality(q *query.Query, n *plan.Node) float64 
 	for _, tb := range tables {
 		key += tb + ","
 	}
+	t.mu.Lock()
 	if t.cache == nil {
 		t.cache = make(map[string]float64)
 	}
 	if v, ok := t.cache[key]; ok {
+		t.mu.Unlock()
 		return v
 	}
+	t.mu.Unlock()
 	sub := subQuery(q, tables)
 	card, err := t.Counter.Count(sub)
 	if err != nil {
 		card = 0
 	}
-	t.cache[key] = card
+	t.mu.Lock()
+	// A concurrent planner may have computed the same key while we executed
+	// the sub-query; keep the first stored value authoritative.
+	if v, ok := t.cache[key]; ok {
+		card = v
+	} else {
+		t.cache[key] = card
+	}
+	t.mu.Unlock()
 	return card
 }
 

@@ -15,18 +15,60 @@ import (
 	"neo/internal/schema"
 )
 
-// Scorer predicts the best-possible cost reachable from a (partial) plan.
-// Neo's value network is the intended implementation; tests use synthetic
-// scorers.
+// BatchScorer predicts the best-possible cost reachable from each of a slice
+// of (partial) plans in one call. It is the primary scoring contract of the
+// search: all children of an expanded node are scored together, so an
+// implementation backed by a neural network (Neo's value network) can
+// amortise one forward pass across the whole expansion instead of paying a
+// full per-sample pass per child. ScoreBatch returns one score per plan, in
+// order.
+type BatchScorer interface {
+	ScoreBatch(ps []*plan.Plan) []float64
+}
+
+// Scorer is the per-plan scoring interface, kept for implementations (and
+// tests) for which batching is meaningless. Wrap one with Batched to use it
+// with the search.
 type Scorer interface {
 	Score(p *plan.Plan) float64
 }
 
-// ScorerFunc adapts a function to the Scorer interface.
+// ScorerFunc adapts a function to both Scorer and BatchScorer, scoring batch
+// members one at a time.
 type ScorerFunc func(p *plan.Plan) float64
 
 // Score implements Scorer.
 func (f ScorerFunc) Score(p *plan.Plan) float64 { return f(p) }
+
+// ScoreBatch implements BatchScorer sequentially.
+func (f ScorerFunc) ScoreBatch(ps []*plan.Plan) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = f(p)
+	}
+	return out
+}
+
+// scoreBatch invokes the scorer and enforces the one-score-per-plan
+// contract, turning a misbehaving BatchScorer implementation into a
+// diagnosable failure instead of an opaque index panic deep in the search.
+func scoreBatch(s BatchScorer, ps []*plan.Plan) []float64 {
+	scores := s.ScoreBatch(ps)
+	if len(scores) != len(ps) {
+		panic(fmt.Sprintf("search: BatchScorer returned %d scores for %d plans", len(scores), len(ps)))
+	}
+	return scores
+}
+
+// Batched adapts a Scorer to the BatchScorer contract. If s already
+// implements BatchScorer its native batching is used; otherwise batch
+// members are scored one at a time.
+func Batched(s Scorer) BatchScorer {
+	if bs, ok := s.(BatchScorer); ok {
+		return bs
+	}
+	return ScorerFunc(s.Score)
+}
 
 // Options configures a search.
 type Options struct {
@@ -57,7 +99,8 @@ type Result struct {
 	Score float64
 	// Expansions is the number of frontier nodes expanded.
 	Expansions int
-	// Evaluations is the number of scorer invocations.
+	// Evaluations is the number of plans scored (summed over ScoreBatch
+	// calls).
 	Evaluations int
 	// HurryUp reports whether the greedy fallback produced the plan.
 	HurryUp bool
@@ -92,7 +135,7 @@ func (f *frontier) Pop() interface{} {
 // when the budget expires it returns the best complete plan seen so far, or
 // — if none has been completed yet — enters "hurry-up" mode and greedily
 // descends from the most promising frontier node.
-func BestFirst(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
+func BestFirst(q *query.Query, scorer BatchScorer, opts Options) (*Result, error) {
 	if len(q.Relations) == 0 {
 		return nil, fmt.Errorf("search: query %s has no relations", q.ID)
 	}
@@ -107,7 +150,7 @@ func BestFirst(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
 	f := &frontier{}
 	heap.Init(f)
 	res.Evaluations++
-	heap.Push(f, &frontierItem{plan: initial, score: scorer.Score(initial)})
+	heap.Push(f, &frontierItem{plan: initial, score: scoreBatch(scorer, []*plan.Plan{initial})[0]})
 	seen := map[string]bool{initial.Signature(): true}
 
 	var bestComplete *plan.Plan
@@ -124,6 +167,7 @@ func BestFirst(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
 		return false
 	}
 
+	var batch []*plan.Plan // reused across expansions
 	for f.Len() > 0 && !budgetExceeded() {
 		item := heap.Pop(f).(*frontierItem)
 		res.Expansions++
@@ -138,14 +182,25 @@ func BestFirst(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
 			// (anytime behaviour) can still improve it within the budget.
 			continue
 		}
+		// Score every not-yet-seen child of this expansion in a single
+		// batched call (the paper evaluates the value network on all children
+		// of a node at once to amortise inference latency).
+		batch = batch[:0]
 		for _, child := range item.plan.Children(childOpts) {
 			sig := child.Signature()
 			if seen[sig] {
 				continue
 			}
 			seen[sig] = true
-			res.Evaluations++
-			score := scorer.Score(child)
+			batch = append(batch, child)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		scores := scoreBatch(scorer, batch)
+		res.Evaluations += len(batch)
+		for i, child := range batch {
+			score := scores[i]
 			if child.IsComplete() && (bestComplete == nil || score < bestScore) {
 				bestComplete = child
 				bestScore = score
@@ -176,7 +231,7 @@ func BestFirst(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
 // applied from the start, and is equivalent to the greedy action selection
 // of Q-learning-style approaches (DQ); the ablation benchmarks compare it
 // against the full best-first search.
-func Greedy(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
+func Greedy(q *query.Query, scorer BatchScorer, opts Options) (*Result, error) {
 	if len(q.Relations) == 0 {
 		return nil, fmt.Errorf("search: query %s has no relations", q.ID)
 	}
@@ -190,11 +245,19 @@ func Greedy(q *query.Query, scorer Scorer, opts Options) (*Result, error) {
 }
 
 // greedyDescend repeatedly takes the lowest-scoring child until reaching a
-// complete plan.
-func greedyDescend(p *plan.Plan, scorer Scorer, opts plan.ChildrenOptions) (*plan.Plan, float64, int) {
-	evals := 0
+// complete plan, scoring each level's children in one batched call. A
+// starting plan that is already complete (e.g. single-relation queries in
+// hurry-up mode) takes no descent step, so it is scored directly to keep the
+// returned score meaningful; otherwise the first step's scores overwrite it
+// and the up-front evaluation is skipped.
+func greedyDescend(p *plan.Plan, scorer BatchScorer, opts plan.ChildrenOptions) (*plan.Plan, float64, int) {
 	cur := p
 	curScore := 0.0
+	evals := 0
+	if p.IsComplete() {
+		curScore = scoreBatch(scorer, []*plan.Plan{p})[0]
+		evals = 1
+	}
 	for !cur.IsComplete() {
 		kids := cur.Children(opts)
 		if len(kids) == 0 {
@@ -205,14 +268,12 @@ func greedyDescend(p *plan.Plan, scorer Scorer, opts plan.ChildrenOptions) (*pla
 			}
 			return nil, 0, evals
 		}
-		best := kids[0]
-		bestScore := scorer.Score(best)
-		evals++
-		for _, k := range kids[1:] {
-			s := scorer.Score(k)
-			evals++
-			if s < bestScore {
-				best, bestScore = k, s
+		scores := scoreBatch(scorer, kids)
+		evals += len(kids)
+		best, bestScore := kids[0], scores[0]
+		for i, k := range kids[1:] {
+			if scores[i+1] < bestScore {
+				best, bestScore = k, scores[i+1]
 			}
 		}
 		cur, curScore = best, bestScore

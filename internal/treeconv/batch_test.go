@@ -1,0 +1,129 @@
+package treeconv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTree builds a random binary tree with n nodes of dim-width vectors.
+func randomTree(rng *rand.Rand, n, dim int) *Tree {
+	if n <= 0 {
+		return nil
+	}
+	data := make([]float64, dim)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	if n == 1 {
+		return NewLeaf(data)
+	}
+	nl := rng.Intn(n)
+	return NewNode(data, randomTree(rng, nl, dim), randomTree(rng, n-1-nl, dim))
+}
+
+func randomForest(rng *rand.Rand, trees, dim int) []*Tree {
+	out := make([]*Tree, 0, trees)
+	for i := 0; i < trees; i++ {
+		out = append(out, randomTree(rng, 1+rng.Intn(9), dim))
+	}
+	return out
+}
+
+func TestForwardBatchMatchesPerTreeForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dim = 6
+	stack := NewStack([]int{dim, 10, 4}, rng)
+
+	forests := [][]*Tree{
+		randomForest(rng, 1, dim),
+		randomForest(rng, 3, dim),
+		{}, // empty forest
+		randomForest(rng, 2, dim),
+	}
+
+	var bb BatchBuilder
+	var scratch BatchScratch
+	batch := bb.Build(forests, dim, func(_ int, n *Tree, row []float64) { copy(row, n.Data) })
+	out := stack.ForwardBatch(batch, &scratch)
+	pooled := PoolBatch(out, &scratch.Arena)
+
+	outDim := 4
+	for si, forest := range forests {
+		// Reference: per-tree forward + per-tree pooling + cross-tree max
+		// (empty forests pool to zero, as in the value network).
+		want := make([]float64, outDim)
+		for _, tree := range forest {
+			p, _ := DynamicPool(stack.Forward(tree).Output())
+			for i := range p {
+				if tree == forest[0] || p[i] > want[i] {
+					want[i] = p[i]
+				}
+			}
+		}
+		got := pooled[si*outDim : (si+1)*outDim]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("sample %d channel %d: batch %v != per-tree %v", si, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchBuilderStructure(t *testing.T) {
+	//      a
+	//     / \
+	//    b   c
+	//   /
+	//  d
+	d := NewLeaf([]float64{4})
+	b := NewNode([]float64{2}, d, nil)
+	c := NewLeaf([]float64{3})
+	a := NewNode([]float64{1}, b, c)
+
+	var bb BatchBuilder
+	batch := bb.Build([][]*Tree{{a}}, 1, func(_ int, n *Tree, row []float64) { copy(row, n.Data) })
+	if batch.N != 4 || batch.Samples != 1 {
+		t.Fatalf("N=%d Samples=%d, want 4 and 1", batch.N, batch.Samples)
+	}
+	// Pre-order: a(0), b(1), d(2), c(3).
+	wantData := []float64{1, 2, 4, 3}
+	for i, w := range wantData {
+		if batch.Data[i] != w {
+			t.Errorf("node %d data %v, want %v", i, batch.Data[i], w)
+		}
+	}
+	wantLeft := []int{1, 2, -1, -1}
+	wantRight := []int{3, -1, -1, -1}
+	for i := range wantLeft {
+		if batch.Left[i] != wantLeft[i] || batch.Right[i] != wantRight[i] {
+			t.Errorf("node %d children (%d,%d), want (%d,%d)", i, batch.Left[i], batch.Right[i], wantLeft[i], wantRight[i])
+		}
+	}
+}
+
+func TestForwardBatchNoAllocationsWhenWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const dim = 5
+	stack := NewStack([]int{dim, 8, 4}, rng)
+	forests := [][]*Tree{randomForest(rng, 2, dim), randomForest(rng, 3, dim)}
+	fill := func(_ int, n *Tree, row []float64) { copy(row, n.Data) }
+
+	var bb BatchBuilder
+	var scratch BatchScratch
+	// Warm up.
+	for i := 0; i < 2; i++ {
+		batch := bb.Build(forests, dim, fill)
+		out := stack.ForwardBatch(batch, &scratch)
+		PoolBatch(out, &scratch.Arena)
+		scratch.Reset()
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		batch := bb.Build(forests, dim, fill)
+		out := stack.ForwardBatch(batch, &scratch)
+		PoolBatch(out, &scratch.Arena)
+		scratch.Reset()
+	})
+	if allocs > 0 {
+		t.Fatalf("warmed-up batched conv allocated %.1f times per run, want 0", allocs)
+	}
+}

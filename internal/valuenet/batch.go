@@ -1,0 +1,117 @@
+// Batched inference. Predict runs one (query, forest) pair through the
+// network; PredictBatch runs a whole slice of pairs through one shared
+// forward pass built on the batch primitives of nn and treeconv:
+//
+//   - the query-level MLP runs once per *distinct* query vector (plan search
+//     scores many candidate plans of the same query, so the query tower's
+//     work is amortised across the whole batch),
+//   - spatial replication writes every augmented node vector straight into a
+//     flattened forest batch (no per-node tree copies),
+//   - tree convolution and dynamic pooling run over the flattened batch, and
+//   - the head MLP maps all pooled vectors to predictions in one call.
+//
+// All intermediate storage comes from a pooled scratch arena, so steady-state
+// batched inference is allocation-free apart from the returned slice, and
+// PredictBatch is safe for concurrent use (inference only reads the weights).
+package valuenet
+
+import (
+	"sync"
+
+	"neo/internal/treeconv"
+)
+
+// batchScratch is the per-call reusable state of PredictBatch.
+type batchScratch struct {
+	conv    treeconv.BatchScratch
+	builder treeconv.BatchBuilder
+	// Query deduplication state.
+	qVecs  [][]float64 // distinct query vectors, in first-seen order
+	qIndex []int       // sample -> index into qVecs
+	qFlat  []float64   // flattened distinct query vectors
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &batchScratch{} }}
+
+// PredictBatch returns the network's cost predictions (in the original cost
+// domain) for a slice of encoded (query, plan-forest) pairs, evaluated in one
+// shared forward pass. It is equivalent to calling Predict per pair but
+// amortises the query tower, tree convolution and head across the batch.
+// Safe for concurrent use by multiple goroutines.
+func (n *Network) PredictBatch(queries [][]float64, forests [][]*treeconv.Tree) []float64 {
+	out := n.PredictBatchNormalized(queries, forests)
+	for i, v := range out {
+		out[i] = n.denormalize(v)
+	}
+	return out
+}
+
+// PredictBatchNormalized is PredictBatch in normalised log-cost space (the
+// batched analogue of PredictNormalized).
+func (n *Network) PredictBatchNormalized(queries [][]float64, forests [][]*treeconv.Tree) []float64 {
+	if len(queries) != len(forests) {
+		panic("valuenet: PredictBatch queries/forests length mismatch")
+	}
+	rows := len(queries)
+	if rows == 0 {
+		return nil
+	}
+	st := scratchPool.Get().(*batchScratch)
+	defer func() {
+		st.conv.Reset()
+		scratchPool.Put(st)
+	}()
+	arena := &st.conv.Arena
+
+	// Deduplicate query vectors by slice identity: during plan search every
+	// sample of a batch shares the query's encoding, so the query MLP runs
+	// once. Distinctness is decided on the slice header (pointer + length),
+	// which is exact for cached encodings and merely conservative otherwise.
+	st.qVecs = st.qVecs[:0]
+	if cap(st.qIndex) < rows {
+		st.qIndex = make([]int, rows)
+	}
+	st.qIndex = st.qIndex[:rows]
+	for s, q := range queries {
+		idx := -1
+		for u, uq := range st.qVecs {
+			if len(uq) == len(q) && (len(q) == 0 || &uq[0] == &q[0]) {
+				idx = u
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(st.qVecs)
+			st.qVecs = append(st.qVecs, q)
+		}
+		st.qIndex[s] = idx
+	}
+	st.qFlat = st.qFlat[:0]
+	for _, q := range st.qVecs {
+		if len(q) != n.queryDim {
+			panic("valuenet: PredictBatch query vector dimension mismatch")
+		}
+		st.qFlat = append(st.qFlat, q...)
+	}
+	g := n.qmlp.ForwardBatch(st.qFlat, len(st.qVecs), arena)
+	qOut := len(g) / len(st.qVecs)
+
+	// Spatial replication straight into the flattened forest batch: each node
+	// row is the node's plan vector followed by its sample's query embedding.
+	channels := n.planDim + qOut
+	batch := st.builder.Build(forests, channels, func(sample int, node *treeconv.Tree, row []float64) {
+		if len(node.Data) != n.planDim {
+			panic("valuenet: PredictBatch plan vector dimension mismatch")
+		}
+		copy(row[:n.planDim], node.Data)
+		copy(row[n.planDim:], g[st.qIndex[sample]*qOut:(st.qIndex[sample]+1)*qOut])
+	})
+
+	conv := n.conv.ForwardBatch(batch, &st.conv)
+	pooled := treeconv.PoolBatch(conv, arena)
+	head := n.head.ForwardBatch(pooled, rows, arena)
+
+	out := make([]float64, rows)
+	copy(out, head)
+	return out
+}

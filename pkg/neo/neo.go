@@ -11,6 +11,9 @@ package neo
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"neo/internal/core"
 	"neo/internal/datagen"
@@ -63,6 +66,13 @@ type (
 	Encoding = feature.Encoding
 	// SearchResult reports the outcome of a plan search.
 	SearchResult = search.Result
+	// BatchScorer is the batched scoring contract driving the plan search:
+	// all children of an expanded node are scored in one call. Use it with
+	// OptimizeWith; adapt a per-plan PlanScorer with Batched.
+	BatchScorer = search.BatchScorer
+	// PlanScorer is the per-plan scoring interface; adapt one to a
+	// BatchScorer with Batched.
+	PlanScorer = search.Scorer
 	// EpisodeStats summarises one training episode.
 	EpisodeStats = core.EpisodeStats
 	// ExperimentReport is the tabular output of one reproduction experiment.
@@ -291,9 +301,78 @@ func (s *System) Train(train []*Query) ([]*EpisodeStats, error) {
 	return out, nil
 }
 
+// Batched adapts a per-plan scorer to the BatchScorer contract the search
+// consumes. If s already implements BatchScorer its native batching is used;
+// otherwise batch members are scored one at a time.
+func Batched(s PlanScorer) BatchScorer { return search.Batched(s) }
+
 // Optimize returns Neo's plan for a query.
 func (s *System) Optimize(q *Query) (*Plan, *SearchResult, error) {
 	return s.Neo.Optimize(q)
+}
+
+// OptimizeWith searches for a plan for q using a caller-supplied scorer in
+// place of the trained value network (useful for custom cost models,
+// ablations and tests). The scorer receives every child of each search
+// expansion in one ScoreBatch call.
+func (s *System) OptimizeWith(q *Query, scorer BatchScorer) (*Plan, *SearchResult, error) {
+	res, err := search.BestFirst(q, scorer, search.Options{
+		Catalog:       s.Catalog,
+		MaxExpansions: s.Config.SearchExpansions,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Plan, res, nil
+}
+
+// PlanResult is the outcome of planning one query of a PlanAll batch.
+type PlanResult struct {
+	Query  *Query
+	Plan   *Plan
+	Result *SearchResult
+	Err    error
+}
+
+// PlanAll plans independent queries concurrently over the shared value
+// network using a fixed pool of workers (workers <= 0 selects GOMAXPROCS).
+// Value-network inference only reads the trained weights and every search
+// carries its own batched-scorer scratch, so planning scales across cores
+// without copying the network. Results are returned in input order; per-query
+// failures are reported in the corresponding PlanResult rather than aborting
+// the batch. PlanAll must not run concurrently with training (Bootstrap,
+// Train, RunEpisode), which mutates the weights it reads. When the
+// featurizer injects cardinality error (stats.ErrorModel, Figure 14
+// protocol), perturbations are drawn from one shared stream in scheduling
+// order, so concurrent planning is race-free but not run-to-run
+// reproducible; plan sequentially if that experiment needs determinism.
+func (s *System) PlanAll(queries []*Query, workers int) []PlanResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]PlanResult, len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				q := queries[i]
+				p, res, err := s.Neo.Optimize(q)
+				results[i] = PlanResult{Query: q, Plan: p, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }
 
 // Execute runs a complete plan on the system's engine and returns the

@@ -168,3 +168,44 @@ func TestTPCHAndCorpSystems(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanAllMatchesSequentialOptimize(t *testing.T) {
+	sys := smallSystem(t, "imdb", "postgres", Histogram)
+	wl, err := sys.GenerateWorkload(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(wl.Queries); err != nil {
+		t.Fatal(err)
+	}
+
+	results := sys.PlanAll(wl.Queries, 4)
+	if len(results) != len(wl.Queries) {
+		t.Fatalf("PlanAll returned %d results, want %d", len(results), len(wl.Queries))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("PlanAll query %s: %v", wl.Queries[i].ID, r.Err)
+		}
+		if r.Query != wl.Queries[i] {
+			t.Errorf("result %d out of order: got query %s", i, r.Query.ID)
+		}
+		if r.Plan == nil || !r.Plan.IsComplete() {
+			t.Errorf("query %s: incomplete plan from PlanAll", wl.Queries[i].ID)
+		}
+		p, _, err := sys.Optimize(wl.Queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Plan.Signature() != p.Signature() {
+			t.Errorf("query %s: concurrent plan differs from sequential plan", wl.Queries[i].ID)
+		}
+	}
+	// Degenerate worker counts fall back to sane behaviour.
+	if got := sys.PlanAll(wl.Queries[:1], 0); len(got) != 1 || got[0].Err != nil {
+		t.Errorf("PlanAll with workers<=0 failed: %+v", got)
+	}
+	if got := sys.PlanAll(nil, 4); len(got) != 0 {
+		t.Errorf("PlanAll(nil) returned %d results", len(got))
+	}
+}
