@@ -28,6 +28,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "override the random seed")
 		engines   = flag.String("engines", "", "comma-separated engine subset (postgres,sqlite,engine-m,engine-o)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (job,tpch,corp)")
+		workers   = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
 		out       = flag.String("out", "", "write reports to this file as well as stdout")
 	)
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
+	cfg.Workers = *workers
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -26,6 +26,7 @@ func main() {
 		queries    = flag.Int("queries", 24, "number of workload queries to generate")
 		scale      = flag.Float64("scale", 0.4, "synthetic data scale factor")
 		seed       = flag.Int64("seed", 42, "random seed")
+		workers    = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		Scale:    *scale,
 		Seed:     *seed,
 		Episodes: *episodes,
+		Workers:  *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"neo/pkg/neo"
+)
+
+// episodeFixture assembles a small bootstrapped system plus an evaluation
+// workload, shared by every worker-count variant of the benchmark.
+func episodeFixture(b *testing.B) (*neo.System, []*neo.Query) {
+	b.Helper()
+	sys, err := neo.Open(neo.Config{
+		Dataset:          "imdb",
+		Engine:           "postgres",
+		Encoding:         neo.Histogram,
+		Scale:            0.25,
+		Seed:             17,
+		SearchExpansions: 64,
+		Episodes:         1,
+		ValueNet: &neo.ValueNetConfig{
+			QueryLayers:  []int{32, 16},
+			TreeChannels: []int{16, 16, 8},
+			HeadLayers:   []int{16},
+			LearningRate: 2e-3,
+			UseLayerNorm: true,
+			Seed:         3,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := sys.GenerateWorkload(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Bootstrap(wl.Queries[:8]); err != nil {
+		b.Fatal(err)
+	}
+	return sys, wl.Queries
+}
+
+// BenchmarkConcurrentEpisode measures the tentpole of the concurrent episode
+// pipeline: evaluating a workload (plan search + simulated execution per
+// query) serially versus over a worker pool. Results are bit-identical
+// across worker counts — the pool only buys wall-clock time.
+//
+// Verify the speedup with:
+//
+//	go test -bench BenchmarkConcurrentEpisode -run '^$' .
+func BenchmarkConcurrentEpisode(b *testing.B) {
+	sys, queries := episodeFixture(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sys.Neo.EvaluateParallel(queries, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/valuenet"
+)
+
+// TestNewFillsOnlyZeroFields is the regression test for the constructor bug
+// where any Config with SearchExpansions == 0 was replaced wholesale by
+// DefaultConfig, silently discarding the caller's seed, cost function,
+// network architecture and training hyperparameters.
+func TestNewFillsOnlyZeroFields(t *testing.T) {
+	rig := newRig(t, "postgres")
+	custom := valuenet.Config{
+		QueryLayers:  []int{8},
+		TreeChannels: []int{8, 8},
+		HeadLayers:   []int{8},
+		LearningRate: 5e-4,
+		UseLayerNorm: false,
+		Seed:         99,
+	}
+	cfg := Config{
+		ValueNet:    custom,
+		TrainEpochs: 3,
+		Cost:        RelativeCost,
+		Seed:        1234,
+		// SearchExpansions, BatchSize and Workers are left zero on purpose;
+		// MaxTrainSamples zero means "no cap" and must survive as zero.
+	}
+	n := New(rig.eng, rig.feat, cfg)
+	got := n.Config
+	if got.Seed != 1234 {
+		t.Errorf("Seed = %d, want the caller's 1234", got.Seed)
+	}
+	if got.Cost != RelativeCost {
+		t.Errorf("Cost = %v, want the caller's RelativeCost", got.Cost)
+	}
+	if got.TrainEpochs != 3 {
+		t.Errorf("TrainEpochs = %d, want the caller's 3", got.TrainEpochs)
+	}
+	if len(got.ValueNet.QueryLayers) != 1 || got.ValueNet.QueryLayers[0] != 8 || got.ValueNet.Seed != 99 {
+		t.Errorf("ValueNet = %+v, want the caller's custom architecture", got.ValueNet)
+	}
+	if got.MaxTrainSamples != 0 {
+		t.Errorf("MaxTrainSamples = %d, want 0 (zero meaningfully disables the cap)", got.MaxTrainSamples)
+	}
+	def := DefaultConfig()
+	if got.SearchExpansions != def.SearchExpansions {
+		t.Errorf("SearchExpansions = %d, want default %d", got.SearchExpansions, def.SearchExpansions)
+	}
+	if got.BatchSize != def.BatchSize {
+		t.Errorf("BatchSize = %d, want default %d", got.BatchSize, def.BatchSize)
+	}
+	if got.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers = %d, want GOMAXPROCS default %d", got.Workers, runtime.GOMAXPROCS(0))
+	}
+	serial := New(rig.eng, rig.feat, Config{Workers: -1})
+	if serial.Config.Workers != 1 {
+		t.Errorf("negative Workers should normalize to serial, got %d", serial.Config.Workers)
+	}
+}
+
+// TestConstructionStatesSiblingJoinOrder pins the ordering contract of the
+// construction-state sort: equal-size sibling joins are applied in walk
+// order (left subtree first), so training targets are deterministic.
+func TestConstructionStatesSiblingJoinOrder(t *testing.T) {
+	q := query.New("q", []string{"a", "b", "c", "d"},
+		[]query.JoinPredicate{
+			{LeftTable: "a", LeftColumn: "x", RightTable: "b", RightColumn: "x"},
+			{LeftTable: "c", LeftColumn: "y", RightTable: "d", RightColumn: "y"},
+			{LeftTable: "b", LeftColumn: "z", RightTable: "c", RightColumn: "z"},
+		}, nil)
+	// ((a ⋈ b) ⋈ (c ⋈ d)): the two inner joins have equal subtree size.
+	complete := &plan.Plan{Query: q, Roots: []*plan.Node{
+		plan.Join2(plan.HashJoin,
+			plan.Join2(plan.MergeJoin, plan.Leaf("a", plan.TableScan), plan.Leaf("b", plan.TableScan)),
+			plan.Join2(plan.MergeJoin, plan.Leaf("c", plan.TableScan), plan.Leaf("d", plan.TableScan))),
+	}}
+	states := constructionStates(complete)
+	// initial + leaves + 3 joins = 5 states.
+	if len(states) != 5 {
+		t.Fatalf("expected 5 construction states, got %d", len(states))
+	}
+	// After the leaves state, the left sibling (a ⋈ b) must be applied
+	// before the right sibling (c ⋈ d).
+	afterFirstJoin := states[2]
+	if len(afterFirstJoin.Roots) != 3 {
+		t.Fatalf("state after first join should be a 3-root forest, got %s", afterFirstJoin)
+	}
+	foundAB := false
+	for _, r := range afterFirstJoin.Roots {
+		if !r.IsLeaf() {
+			tables := r.Tables()
+			if len(tables) == 2 && ((tables[0] == "a" && tables[1] == "b") || (tables[0] == "b" && tables[1] == "a")) {
+				foundAB = true
+			}
+		}
+	}
+	if !foundAB {
+		t.Errorf("left sibling join (a ⋈ b) should be applied first, state: %s", afterFirstJoin)
+	}
+	for i, s := range states {
+		if !s.IsSubplanOf(complete) {
+			t.Errorf("state %d (%s) is not a subplan of the complete plan", i, s)
+		}
+	}
+	if states[len(states)-1].Signature() != complete.Signature() {
+		t.Errorf("final state should equal the complete plan")
+	}
+}
+
+// bootstrapRig builds a rig and bootstraps it from the expert; used in pairs
+// by the determinism tests (two independently built rigs are bit-identical
+// for a fixed seed).
+func bootstrapRig(t *testing.T) (*testRig, []*query.Query) {
+	t.Helper()
+	rig := newRig(t, "postgres")
+	train, _ := rig.wl.Split(0.8, 1)
+	if err := rig.neo.Bootstrap(train, rig.expertFunc()); err != nil {
+		t.Fatal(err)
+	}
+	return rig, train
+}
+
+// TestRunEpisodeParallelMatchesSerial asserts the pipeline's determinism
+// contract: an 8-worker episode produces bit-identical EpisodeStats — and
+// therefore identical downstream training — to the serial path.
+func TestRunEpisodeParallelMatchesSerial(t *testing.T) {
+	serialRig, serialTrain := bootstrapRig(t)
+	parallelRig, parallelTrain := bootstrapRig(t)
+
+	for ep := 1; ep <= 2; ep++ {
+		ss, err := serialRig.neo.RunEpisodeParallel(ep, serialTrain, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := parallelRig.neo.RunEpisodeParallel(ep, parallelTrain, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.TotalLatency != ps.TotalLatency {
+			t.Errorf("episode %d: TotalLatency differs: serial %v, parallel %v", ep, ss.TotalLatency, ps.TotalLatency)
+		}
+		if ss.NormalizedLatency != ps.NormalizedLatency {
+			t.Errorf("episode %d: NormalizedLatency differs: serial %v, parallel %v", ep, ss.NormalizedLatency, ps.NormalizedLatency)
+		}
+		if ss.TrainLoss != ps.TrainLoss {
+			t.Errorf("episode %d: TrainLoss differs: serial %v, parallel %v", ep, ss.TrainLoss, ps.TrainLoss)
+		}
+		if len(ss.QueryLatencies) != len(ps.QueryLatencies) {
+			t.Fatalf("episode %d: latency map sizes differ", ep)
+		}
+		for id, lat := range ss.QueryLatencies {
+			if ps.QueryLatencies[id] != lat {
+				t.Errorf("episode %d query %s: latency differs: serial %v, parallel %v", ep, id, lat, ps.QueryLatencies[id])
+			}
+		}
+	}
+	if serialRig.neo.Experience.Len() != parallelRig.neo.Experience.Len() {
+		t.Errorf("experience sizes diverged: serial %d, parallel %d",
+			serialRig.neo.Experience.Len(), parallelRig.neo.Experience.Len())
+	}
+}
+
+// TestEvaluateParallelMatchesSerial asserts that parallel evaluation returns
+// identical per-query plans and latencies to the serial path.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	serialRig, serialTrain := bootstrapRig(t)
+	parallelRig, parallelTrain := bootstrapRig(t)
+
+	sTotal, sPer, err := serialRig.neo.EvaluateParallel(serialTrain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTotal, pPer, err := parallelRig.neo.EvaluateParallel(parallelTrain, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTotal != pTotal {
+		t.Errorf("total latency differs: serial %v, parallel %v", sTotal, pTotal)
+	}
+	for id, lat := range sPer {
+		if pPer[id] != lat {
+			t.Errorf("query %s: latency differs: serial %v, parallel %v", id, lat, pPer[id])
+		}
+	}
+	// The chosen plans themselves must match query by query.
+	for _, i := range []int{0, 1, 2} {
+		sp, _, err := serialRig.neo.Optimize(serialTrain[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, _, err := parallelRig.neo.Optimize(parallelTrain[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Signature() != pp.Signature() {
+			t.Errorf("query %s: plans differ across serial/parallel evaluation", serialTrain[i].ID)
+		}
+	}
+}
+
+// TestRetrainAsyncDoubleBuffering checks the snapshot/swap lifecycle: while
+// a background retraining round runs, searches serve the old snapshot;
+// after the swap the version moves and the old snapshot still scores with
+// its original weights. Run with -race, this also exercises concurrent
+// planning + baseline writes against the training round.
+func TestRetrainAsyncDoubleBuffering(t *testing.T) {
+	rig, train := bootstrapRig(t)
+	n := rig.neo
+
+	versionBefore := n.NetVersion()
+	snapBefore := n.Snapshot()
+	probe := train[0]
+	probePlan, _, err := n.Optimize(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qEnc := n.encodeQuery(probe)
+	pEnc := n.Featurizer.EncodePlan(probePlan)
+	predBefore := snapBefore.Predict(qEnc, pEnc)
+
+	// Grow the experience so the retraining round has new signal.
+	if _, err := n.RunEpisode(1, train); err != nil {
+		t.Fatal(err)
+	}
+
+	done := n.RetrainAsync()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				for _, q := range train[:3] {
+					if _, _, err := n.Optimize(q); err != nil {
+						t.Errorf("concurrent Optimize: %v", err)
+						return
+					}
+					n.SetBaseline(q.ID, float64(100+w))
+					n.Baseline(q.ID)
+					n.PredictNormalized(q, probePlan)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	loss := <-done
+	if math.IsNaN(loss) || loss < 0 {
+		t.Errorf("async retrain loss should be a non-negative number, got %v", loss)
+	}
+	if got := n.NetVersion(); got <= versionBefore+1 {
+		// Bootstrap publishes version 1; RunEpisode and RetrainAsync add one
+		// swap each.
+		t.Errorf("NetVersion = %d, want > %d after episode + async retrain", got, versionBefore+1)
+	}
+	if n.Snapshot() == snapBefore {
+		t.Errorf("snapshot should have been swapped")
+	}
+	// The old snapshot is immutable: it must still score with the weights it
+	// was frozen with.
+	if got := snapBefore.Predict(qEnc, pEnc); got != predBefore {
+		t.Errorf("old snapshot's prediction changed after retraining: %v -> %v", predBefore, got)
+	}
+}
+
+// TestConcurrentBaselineAccess hammers SetBaseline/Baseline/cost from many
+// goroutines; meaningful under -race (the baseline map used to be
+// unguarded).
+func TestConcurrentBaselineAccess(t *testing.T) {
+	rig := newRig(t, "postgres")
+	n := rig.neo
+	q := rig.wl.Queries[0]
+	entry := Entry{Query: q, Latency: 50}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n.SetBaseline(q.ID, float64(w*200+i+1))
+				n.Baseline(q.ID)
+				n.cost(entry)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, ok := n.Baseline(q.ID); !ok {
+		t.Errorf("baseline should be set after concurrent writes")
+	}
+}

@@ -3,7 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neo/internal/engine"
@@ -56,6 +59,16 @@ type Config struct {
 	Cost CostFunction
 	// Seed seeds plan-search tie-breaking and minibatch shuffling.
 	Seed int64
+	// Workers is the worker-pool size RunEpisode and Evaluate use to fan
+	// plan search and simulated execution out over goroutines. Results are
+	// committed in deterministic order, so episode statistics are
+	// bit-identical to the serial path for a fixed seed regardless of the
+	// worker count — except when the featurizer injects cardinality error
+	// (Featurizer.Error, the Figure 14 protocol), whose perturbations draw
+	// from one shared stream in scheduling order; run serially if that
+	// experiment needs reproducibility. Zero selects GOMAXPROCS; a negative
+	// value forces serial execution.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -73,34 +86,97 @@ func DefaultConfig() Config {
 
 // Neo is the learned optimizer: it featurizes queries, maintains experience,
 // trains the value network, and searches for plans with it.
+//
+// Concurrency: plan search (Optimize, OptimizeGreedy, Scorer,
+// PredictNormalized) scores against an immutable snapshot of the value
+// network and is safe to call from any number of goroutines, including
+// while RetrainAsync trains the live network in the background. Calls that
+// mutate the experience or draw from the training rng (Bootstrap, Explore,
+// RunEpisode) must not overlap each other.
 type Neo struct {
 	Engine     *engine.Engine
 	Featurizer *feature.Featurizer
+	// Net is the live network the training loop mutates. Searches never
+	// read it directly — they score through the snapshot published after
+	// each retraining round — so reading Net is safe only while no training
+	// round is in flight.
 	Net        *valuenet.Network
 	Experience *Experience
 	Config     Config
 
-	rng *rand.Rand
-	// Baseline latencies per query (used by RelativeCost and by the
-	// normalised-latency metrics the figures report).
+	// rngMu guards rng, which drives episode shuffling and minibatch
+	// shuffling. One shared stream, drawn in a fixed order, keeps training
+	// reproducible for a fixed seed.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// mu guards the cheap mutable state shared between concurrent planners
+	// and the training loop: per-query baselines (RelativeCost and
+	// normalised reporting) and training-time accounting.
+	mu sync.Mutex
+	// baseline holds per-query baseline latencies (used by RelativeCost and
+	// by the normalised-latency metrics the figures report).
 	baseline map[string]float64
-	// queryEncCache caches query-level encodings (they never change);
-	// encMu guards it so concurrent planners (pkg/neo's PlanAll) can share
-	// one Neo instance.
+	// trainTime accumulates wall-clock time spent training the network,
+	// used by the Figure 11 training-time breakdown.
+	trainTime time.Duration
+
+	// encMu guards the query-encoding cache separately from mu: a cold
+	// encode can be expensive (featurizers may execute sub-queries), and it
+	// must not stall baseline reads or serialize the whole worker pool.
 	encMu         sync.Mutex
 	queryEncCache map[string][]float64
-	// Accumulated wall-clock time spent training the network, used by the
-	// Figure 11 training-time breakdown.
-	trainTime time.Duration
+
+	// trainMu serializes retraining rounds (Retrain / RetrainAsync).
+	trainMu sync.Mutex
+	// snap is the read-only network snapshot all searches score with,
+	// tagged with its version. It is swapped atomically at the end of each
+	// retraining round, so in-flight searches finish against the weights
+	// they started with while new searches pick up the freshly trained
+	// network (double buffering). Version and weights travel in one pointer
+	// so a reader can never observe new weights under an old version or
+	// vice versa.
+	snap atomic.Pointer[netSnapshot]
+}
+
+// netSnapshot pairs a frozen network with the version it was published as.
+type netSnapshot struct {
+	net     *valuenet.Snapshot
+	version uint64
 }
 
 // New creates a Neo instance bound to a target engine and featurizer.
+// Zero-valued hyperparameters are filled from DefaultConfig field by field;
+// explicitly set fields are preserved. Config.MaxTrainSamples is exempt
+// (zero meaningfully disables the cap), and a zero Config.Cost already is
+// the default WorkloadCost.
 func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
+	def := DefaultConfig()
 	if cfg.SearchExpansions == 0 {
-		cfg = DefaultConfig()
+		cfg.SearchExpansions = def.SearchExpansions
+	}
+	if cfg.TrainEpochs == 0 {
+		cfg.TrainEpochs = def.TrainEpochs
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = def.BatchSize
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	// Workers normalization lives here, once, for every layer above (the
+	// pkg/neo facade and the experiment harness pass their value through).
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 1
+	}
+	if len(cfg.ValueNet.QueryLayers) == 0 {
+		cfg.ValueNet = def.ValueNet
 	}
 	net := valuenet.New(feat.QueryVectorSize(), feat.PlanVectorSize(), cfg.ValueNet)
-	return &Neo{
+	n := &Neo{
 		Engine:        eng,
 		Featurizer:    feat,
 		Net:           net,
@@ -110,23 +186,53 @@ func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
 		baseline:      make(map[string]float64),
 		queryEncCache: make(map[string][]float64),
 	}
+	n.snap.Store(&netSnapshot{net: net.Snapshot()})
+	return n
 }
 
 // TrainingTime returns the cumulative wall-clock time spent training the
 // value network.
-func (n *Neo) TrainingTime() time.Duration { return n.trainTime }
+func (n *Neo) TrainingTime() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.trainTime
+}
+
+// Snapshot returns the read-only value-network snapshot searches currently
+// score with. Safe for concurrent use.
+func (n *Neo) Snapshot() *valuenet.Snapshot { return n.snap.Load().net }
+
+// NetVersion returns the number of snapshot swaps performed so far. It
+// increments whenever a retraining round publishes new weights; callers that
+// cache plans keyed on the network (pkg/neo's plan cache) use it to detect
+// staleness. The version is read from the same atomic pointer that carries
+// the weights, so two NetVersion reads bracketing a search that returned the
+// same value prove the search scored with that version's snapshot.
+func (n *Neo) NetVersion() uint64 { return n.snap.Load().version }
+
+// publishSnapshot freezes the live network's weights and swaps them in as
+// the serving snapshot, in one atomic store together with the bumped
+// version. Callers must hold trainMu (which serializes version increments).
+func (n *Neo) publishSnapshot() {
+	n.snap.Store(&netSnapshot{net: n.Net.Snapshot(), version: n.snap.Load().version + 1})
+}
 
 // SetBaseline records the per-query baseline latencies used by the
 // RelativeCost objective and by normalised reporting (typically the latency
-// of the expert's plan on the target engine).
+// of the expert's plan on the target engine). Safe for concurrent use.
 func (n *Neo) SetBaseline(id string, latency float64) {
 	if latency > 0 {
+		n.mu.Lock()
 		n.baseline[id] = latency
+		n.mu.Unlock()
 	}
 }
 
 // Baseline returns the baseline latency for a query (and whether one is set).
+// Safe for concurrent use.
 func (n *Neo) Baseline(id string) (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	v, ok := n.baseline[id]
 	return v, ok
 }
@@ -134,7 +240,7 @@ func (n *Neo) Baseline(id string) (float64, bool) {
 // cost converts an experience entry's latency into the configured cost.
 func (n *Neo) cost(e Entry) float64 {
 	if n.Config.Cost == RelativeCost {
-		if base, ok := n.baseline[e.Query.ID]; ok && base > 0 {
+		if base, ok := n.Baseline(e.Query.ID); ok && base > 0 {
 			return e.Latency / base
 		}
 	}
@@ -252,21 +358,29 @@ func constructionStates(p *plan.Plan) []*plan.Plan {
 	var states []*plan.Plan
 	states = append(states, plan.Initial(p.Query))
 
-	// Collect p's join nodes ordered by subtree size (bottom-up).
+	// Collect p's join nodes and the size of every subtree in one walk.
 	var joins []*plan.Node
-	p.Roots[0].Walk(func(node *plan.Node) {
+	sizes := make(map[*plan.Node]int)
+	var measure func(node *plan.Node) int
+	measure = func(node *plan.Node) int {
+		if node == nil {
+			return 0
+		}
+		size := 1 + measure(node.Left) + measure(node.Right)
+		sizes[node] = size
 		if !node.IsLeaf() {
 			joins = append(joins, node)
 		}
-	})
-	// Sort by number of nodes ascending so children come before parents.
-	for i := 0; i < len(joins); i++ {
-		for j := i + 1; j < len(joins); j++ {
-			if joins[j].NumNodes() < joins[i].NumNodes() {
-				joins[i], joins[j] = joins[j], joins[i]
-			}
-		}
+		return size
 	}
+	measure(p.Roots[0])
+	// Sort by subtree size ascending so children come before parents,
+	// keeping the walk order for equal sizes (disjoint sibling joins) so
+	// the construction sequence — and with it the training targets — stays
+	// deterministic.
+	sort.SliceStable(joins, func(a, b int) bool {
+		return sizes[joins[a]] < sizes[joins[b]]
+	})
 
 	// Start from the forest of specified leaves.
 	var leaves []*plan.Node
@@ -279,10 +393,15 @@ func constructionStates(p *plan.Plan) []*plan.Plan {
 	for _, l := range leaves {
 		current[l.Table] = l
 	}
+	// forest lists the distinct roots by walking the leaves in plan order
+	// (never by ranging over the map): map iteration order is random, and a
+	// random root order would randomise gradient-accumulation order during
+	// training, making identically-seeded runs irreproducible.
 	forest := func() []*plan.Node {
 		out := make([]*plan.Node, 0, len(current))
 		seen := map[*plan.Node]bool{}
-		for _, node := range current {
+		for _, l := range leaves {
+			node := current[l.Table]
 			if !seen[node] {
 				seen[node] = true
 				out = append(out, node)
@@ -308,29 +427,55 @@ func constructionStates(p *plan.Plan) []*plan.Plan {
 	return states
 }
 
-// Retrain rebuilds the training set from the experience and (re)trains the
-// value network. It returns the final training loss.
+// Retrain rebuilds the training set from the experience, (re)trains the
+// live value network, and atomically swaps the freshly trained weights in
+// as the serving snapshot. It returns the final training loss. Retraining
+// rounds are serialized; plan searches may run concurrently — they keep
+// scoring with the previous snapshot until the swap.
 func (n *Neo) Retrain() float64 {
+	n.trainMu.Lock()
+	defer n.trainMu.Unlock()
 	samples := n.trainingSamples()
 	if len(samples) == 0 {
 		return 0
 	}
+	n.rngMu.Lock()
 	if n.Config.MaxTrainSamples > 0 && len(samples) > n.Config.MaxTrainSamples {
 		n.rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
 		samples = samples[:n.Config.MaxTrainSamples]
 	}
 	start := time.Now()
 	loss := n.Net.Train(samples, n.Config.TrainEpochs, n.Config.BatchSize, n.rng)
-	n.trainTime += time.Since(start)
+	n.rngMu.Unlock()
+	elapsed := time.Since(start)
+	n.mu.Lock()
+	n.trainTime += elapsed
+	n.mu.Unlock()
+	n.publishSnapshot()
 	return loss
 }
 
-// netScorer scores plans for one query with the value network. ScoreBatch —
-// the search hot path — encodes every plan of the batch and runs one shared
-// batched forward pass; all plans share the query's cached encoding, so the
-// network's query tower runs once per batch.
+// RetrainAsync retrains the value network in the background. Searches keep
+// scoring with the previously published snapshot while training runs; when
+// the round finishes, the new weights are swapped in atomically and the
+// final training loss is delivered on the returned channel (buffered, so
+// the result never blocks even if nobody receives it). Rounds are
+// serialized with Retrain. Concurrent planning (Optimize, Evaluate,
+// pkg/neo's PlanAll) is safe while a round is in flight; concurrent
+// experience-mutating calls (RunEpisode, Bootstrap, Explore) are not.
+func (n *Neo) RetrainAsync() <-chan float64 {
+	done := make(chan float64, 1)
+	go func() { done <- n.Retrain() }()
+	return done
+}
+
+// netScorer scores plans for one query with a frozen value-network
+// snapshot. ScoreBatch — the search hot path — encodes every plan of the
+// batch and runs one shared batched forward pass; all plans share the
+// query's cached encoding, so the network's query tower runs once per
+// batch.
 type netScorer struct {
-	net  *valuenet.Network
+	net  *valuenet.Snapshot
 	feat *feature.Featurizer
 	qEnc []float64
 
@@ -357,11 +502,13 @@ func (s *netScorer) Score(p *plan.Plan) float64 {
 
 // Scorer returns the batched value-network scorer for the given query; it
 // implements both search.BatchScorer (the primary contract) and
-// search.Scorer. Each returned scorer carries its own scratch state, so
-// concurrent searches over the shared network use separate Scorer instances
-// (see pkg/neo's PlanAll).
+// search.Scorer. The scorer is pinned to the network snapshot current at
+// creation time, so a search runs against one consistent set of weights
+// even if a background retraining round swaps the snapshot mid-search. Each
+// returned scorer carries its own scratch state, so concurrent searches use
+// separate Scorer instances (see pkg/neo's PlanAll).
 func (n *Neo) Scorer(q *query.Query) search.BatchScorer {
-	return &netScorer{net: n.Net, feat: n.Featurizer, qEnc: n.encodeQuery(q)}
+	return &netScorer{net: n.Snapshot(), feat: n.Featurizer, qEnc: n.encodeQuery(q)}
 }
 
 // Optimize searches for the best plan for q using the current value network.
@@ -404,29 +551,101 @@ type EpisodeStats struct {
 	QueryLatencies map[string]float64
 }
 
+// planExec is the outcome of planning and simulating one query of an
+// episode or evaluation batch: the chosen plan and its deterministic
+// (noise-free) simulated latency.
+type planExec struct {
+	plan *plan.Plan
+	base float64
+	err  error
+}
+
+// planAndSimulate fans plan search plus deterministic plan simulation out
+// over a pool of workers. The engine's run-to-run noise is deliberately NOT
+// applied here: the caller commits the returned base latencies in input
+// order, so the engine's noise stream is drawn in exactly the order the
+// serial loop would draw it, and results are bit-identical to serial
+// execution for a fixed seed no matter how many workers raced.
+func (n *Neo) planAndSimulate(queries []*query.Query, workers int) []planExec {
+	out := make([]planExec, len(queries))
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = n.planAndSimulateOne(q)
+			if out[i].err != nil {
+				break
+			}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = n.planAndSimulateOne(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func (n *Neo) planAndSimulateOne(q *query.Query) planExec {
+	p, _, err := n.Optimize(q)
+	if err != nil {
+		return planExec{err: err}
+	}
+	base, _, err := n.Engine.Simulate(p)
+	if err != nil {
+		return planExec{err: err}
+	}
+	return planExec{plan: p, base: base}
+}
+
 // RunEpisode performs one full training episode (Section 6.3.1): for every
 // training query, search for a plan with the current value network, execute
 // it on the engine, add the plan/latency pair to the experience, and finally
-// retrain the network.
+// retrain the network. Plan search and simulated execution run concurrently
+// over Config.Workers workers; see RunEpisodeParallel.
 func (n *Neo) RunEpisode(episode int, queries []*query.Query) (*EpisodeStats, error) {
+	return n.RunEpisodeParallel(episode, queries, n.Config.Workers)
+}
+
+// RunEpisodeParallel is RunEpisode with an explicit worker count: plan
+// search and plan simulation fan out over the pool, while the episode's
+// shuffle, the engine's noise draws, the experience appends and the final
+// retraining all happen in deterministic order — so the returned
+// EpisodeStats (and all downstream training state) are bit-identical to the
+// serial path for a fixed seed, at a fraction of the wall-clock time. The
+// one exception is injected cardinality error (Featurizer.Error), which
+// draws from a shared stream in scheduling order; see Config.Workers.
+func (n *Neo) RunEpisodeParallel(episode int, queries []*query.Query, workers int) (*EpisodeStats, error) {
 	stats := &EpisodeStats{Episode: episode, QueryLatencies: make(map[string]float64)}
 	shuffled := append([]*query.Query(nil), queries...)
+	n.rngMu.Lock()
 	n.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	n.rngMu.Unlock()
 
+	execs := n.planAndSimulate(shuffled, workers)
 	baseTotal := 0.0
-	for _, q := range shuffled {
-		p, _, err := n.Optimize(q)
-		if err != nil {
+	for i, q := range shuffled {
+		if err := execs[i].err; err != nil {
 			return nil, fmt.Errorf("core: episode %d query %s: %w", episode, q.ID, err)
 		}
-		lat, _, err := n.Engine.Execute(p)
-		if err != nil {
-			return nil, fmt.Errorf("core: episode %d executing plan for %s: %w", episode, q.ID, err)
-		}
-		n.Experience.Add(q, p, lat)
+		lat := n.Engine.Commit(execs[i].base)
+		n.Experience.Add(q, execs[i].plan, lat)
 		stats.TotalLatency += lat
 		stats.QueryLatencies[q.ID] = lat
-		if base, ok := n.baseline[q.ID]; ok {
+		if base, ok := n.Baseline(q.ID); ok {
 			baseTotal += base
 		} else {
 			baseTotal += lat
@@ -441,19 +660,26 @@ func (n *Neo) RunEpisode(episode int, queries []*query.Query) (*EpisodeStats, er
 
 // Evaluate optimizes and executes each query without adding the results to
 // the experience (held-out evaluation). It returns the total latency and the
-// per-query latencies.
+// per-query latencies. Plan search and simulation run concurrently over
+// Config.Workers workers; see EvaluateParallel.
 func (n *Neo) Evaluate(queries []*query.Query) (float64, map[string]float64, error) {
+	return n.EvaluateParallel(queries, n.Config.Workers)
+}
+
+// EvaluateParallel is Evaluate with an explicit worker count. Like
+// RunEpisodeParallel, searches and plan simulations fan out while the
+// engine's noise draws commit in input order, so per-query plans and
+// latencies are identical to the serial path for a fixed seed (with the
+// same Featurizer.Error exception; see Config.Workers).
+func (n *Neo) EvaluateParallel(queries []*query.Query, workers int) (float64, map[string]float64, error) {
+	execs := n.planAndSimulate(queries, workers)
 	perQuery := make(map[string]float64, len(queries))
 	total := 0.0
-	for _, q := range queries {
-		p, _, err := n.Optimize(q)
-		if err != nil {
-			return 0, nil, err
+	for i, q := range queries {
+		if execs[i].err != nil {
+			return 0, nil, execs[i].err
 		}
-		lat, _, err := n.Engine.Execute(p)
-		if err != nil {
-			return 0, nil, err
-		}
+		lat := n.Engine.Commit(execs[i].base)
 		perQuery[q.ID] = lat
 		total += lat
 	}
@@ -461,9 +687,10 @@ func (n *Neo) Evaluate(queries []*query.Query) (float64, map[string]float64, err
 }
 
 // PredictNormalized exposes the raw value-network output for a plan of a
-// query (used by the Figure 14 robustness analysis).
+// query (used by the Figure 14 robustness analysis). It reads the serving
+// snapshot, so it is safe to call while a retraining round is in flight.
 func (n *Neo) PredictNormalized(q *query.Query, p *plan.Plan) float64 {
-	return n.Net.PredictNormalized(n.encodeQuery(q), n.Featurizer.EncodePlan(p))
+	return n.Snapshot().PredictNormalized(n.encodeQuery(q), n.Featurizer.EncodePlan(p))
 }
 
 // EncodePlanTrees is a convenience wrapper exposing the featurizer's plan

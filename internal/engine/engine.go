@@ -153,20 +153,44 @@ func New(profile Profile, db *storage.Database) *Engine {
 }
 
 // Execute runs a complete plan and returns its simulated latency in
-// milliseconds along with the executor's per-node statistics.
+// milliseconds along with the executor's per-node statistics. It is
+// equivalent to Simulate followed by Commit.
 func (e *Engine) Execute(p *plan.Plan) (float64, *executor.Result, error) {
+	base, res, err := e.Simulate(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return e.Commit(base), res, nil
+}
+
+// Simulate runs a complete plan and prices it deterministically, without
+// drawing run-to-run noise or touching the engine's execution accounting.
+// It only reads shared state, so any number of goroutines may Simulate
+// concurrently; pair each call with a later Commit to obtain the final
+// latency. Splitting execution this way lets a parallel episode pipeline
+// fan the expensive executor work out over workers while still drawing the
+// engine's noise stream in a deterministic order.
+func (e *Engine) Simulate(p *plan.Plan) (float64, *executor.Result, error) {
 	res, err := e.Exec.Execute(p)
 	if err != nil {
 		return 0, nil, err
 	}
-	base := e.CostResult(p.Roots[0], res.Nodes)
+	return e.CostResult(p.Roots[0], res.Nodes), res, nil
+}
+
+// Commit applies run-to-run noise to a latency returned by Simulate and
+// records the execution in the engine's accounting. Noise is drawn from one
+// engine-wide stream in Commit order, so callers that commit in a fixed
+// order get bit-identical latencies regardless of how the preceding
+// Simulate calls were scheduled.
+func (e *Engine) Commit(base float64) float64 {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	noise := 1.0 + (e.rng.Float64()*2-1)*e.Profile.NoiseFraction
 	e.executions++
 	lat := base * noise
 	e.simulatedMS += lat
-	e.mu.Unlock()
-	return lat, res, nil
+	return lat
 }
 
 // Executions returns the number of plans executed so far.

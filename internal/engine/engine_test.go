@@ -238,3 +238,42 @@ func TestCostResultHandlesMissingStats(t *testing.T) {
 		t.Errorf("cost should not be negative")
 	}
 }
+
+// TestSimulateCommitMatchesExecute pins the contract the concurrent episode
+// pipeline relies on: Simulate+Commit must be exactly Execute, including the
+// noise stream and the execution accounting, so committing fanned-out
+// simulations in order reproduces serial execution bit for bit.
+func TestSimulateCommitMatchesExecute(t *testing.T) {
+	db := imdb(t)
+	q := loveQuery()
+	p := goodPlan(q)
+	direct := New(PostgreSQLProfile(), db)
+	split := New(PostgreSQLProfile(), db)
+	for i := 0; i < 5; i++ {
+		dLat, _, err := direct.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _, err := split.Simulate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sLat := split.Commit(base); sLat != dLat {
+			t.Errorf("iteration %d: Simulate+Commit = %v, Execute = %v", i, sLat, dLat)
+		}
+	}
+	if direct.Executions() != split.Executions() {
+		t.Errorf("execution accounting differs: %d vs %d", direct.Executions(), split.Executions())
+	}
+	if direct.SimulatedTimeMS() != split.SimulatedTimeMS() {
+		t.Errorf("simulated time differs: %v vs %v", direct.SimulatedTimeMS(), split.SimulatedTimeMS())
+	}
+	// Simulate alone must not touch the accounting or the noise stream.
+	before := direct.Executions()
+	if _, _, err := direct.Simulate(p); err != nil {
+		t.Fatal(err)
+	}
+	if direct.Executions() != before {
+		t.Errorf("Simulate must not count as an execution")
+	}
+}

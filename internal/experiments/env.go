@@ -47,6 +47,11 @@ type Config struct {
 	// Workloads restricts which workloads heavyweight experiments run on
 	// (empty means all three).
 	Workloads []string
+	// Workers sizes the worker pool episode training and evaluation fan
+	// plan search + simulated execution out over. Results are bit-identical
+	// to serial execution for a fixed seed, so parallelism only changes
+	// wall-clock time. Zero selects GOMAXPROCS; negative forces serial.
+	Workers int
 }
 
 // Quick returns the configuration used by the benchmark harness: small
@@ -277,6 +282,7 @@ func (e *Env) neoConfig(costFn core.CostFunction) core.Config {
 		MaxTrainSamples:  2500,
 		Cost:             costFn,
 		Seed:             e.Config.Seed,
+		Workers:          e.Config.Workers,
 	}
 }
 

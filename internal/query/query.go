@@ -140,6 +140,36 @@ func New(id string, relations []string, joins []JoinPredicate, preds []Predicate
 // NumJoins returns the number of join predicates in the query.
 func (q *Query) NumJoins() int { return len(q.Joins) }
 
+// Signature returns a canonical fingerprint of the query's structure —
+// relations, join predicates and column predicates, each in sorted order —
+// independent of the query's ID and of the order predicates were supplied
+// in. Two queries with equal signatures have the same plan search space and
+// the same optimal plan, which is what plan caches key on.
+func (q *Query) Signature() string {
+	// New canonicalises relation order, but literal Query construction can
+	// bypass it — sort a copy so the signature never depends on it.
+	rels := append([]string(nil), q.Relations...)
+	sort.Strings(rels)
+	joins := make([]string, len(q.Joins))
+	for i, j := range q.Joins {
+		l, r := j.LeftTable+"."+j.LeftColumn, j.RightTable+"."+j.RightColumn
+		if r < l {
+			l, r = r, l
+		}
+		joins[i] = l + "=" + r
+	}
+	sort.Strings(joins)
+	preds := make([]string, len(q.Predicates))
+	for i, p := range q.Predicates {
+		// Quote the value: raw values may contain the separator characters
+		// used below, and a collision here would make a plan cache serve the
+		// wrong plan.
+		preds[i] = fmt.Sprintf("%s.%s %s %q", p.Table, p.Column, p.Op, p.Value.String())
+	}
+	sort.Strings(preds)
+	return strings.Join(rels, ",") + "|" + strings.Join(joins, "&") + "|" + strings.Join(preds, "&")
+}
+
 // HasRelation reports whether the query references the given relation.
 func (q *Query) HasRelation(name string) bool {
 	for _, r := range q.Relations {

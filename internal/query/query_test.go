@@ -230,3 +230,34 @@ func TestSQLRendering(t *testing.T) {
 		t.Errorf("query without predicates should have no WHERE clause: %s", noPred.SQL())
 	}
 }
+
+func TestSignature(t *testing.T) {
+	q := sampleQuery()
+	// Same structure under a different ID and different predicate/join
+	// declaration order must produce the same signature.
+	reordered := New("other-id", q.Relations,
+		[]JoinPredicate{q.Joins[1], q.Joins[0]},
+		[]Predicate{q.Predicates[1], q.Predicates[0]})
+	if q.Signature() != reordered.Signature() {
+		t.Errorf("signature should be ID- and order-independent:\n%s\n%s", q.Signature(), reordered.Signature())
+	}
+	// Swapping a join predicate's sides is the same join.
+	j := q.Joins[0]
+	swapped := New("swap", q.Relations,
+		append([]JoinPredicate{{LeftTable: j.RightTable, LeftColumn: j.RightColumn, RightTable: j.LeftTable, RightColumn: j.LeftColumn}}, q.Joins[1:]...),
+		q.Predicates)
+	if q.Signature() != swapped.Signature() {
+		t.Errorf("signature should normalise join sides")
+	}
+	// A different predicate value is a different signature.
+	changed := New(q.ID, q.Relations, q.Joins,
+		append([]Predicate{{Table: q.Predicates[0].Table, Column: q.Predicates[0].Column, Op: q.Predicates[0].Op, Value: storage.StringValue("war")}}, q.Predicates[1:]...))
+	if q.Signature() == changed.Signature() {
+		t.Errorf("different predicates should produce different signatures")
+	}
+	// Fewer relations is a different signature.
+	single := New("s", []string{"title"}, nil, nil)
+	if single.Signature() == q.Signature() {
+		t.Errorf("different relation sets should produce different signatures")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"neo/internal/query"
@@ -22,6 +23,10 @@ import (
 
 // DefaultHistogramBuckets is the number of buckets in each column histogram.
 const DefaultHistogramBuckets = 20
+
+// topValuesCap bounds how many most-common string values a column's
+// statistics retain.
+const topValuesCap = 64
 
 // ColumnStats summarises one column.
 type ColumnStats struct {
@@ -36,7 +41,8 @@ type ColumnStats struct {
 	// columns; Buckets[i] counts rows falling in bucket i.
 	Buckets []int
 	// TopValues maps the most common string values to their frequencies.
-	// Only populated for string columns (capped at 64 entries).
+	// Only populated for string columns (capped at topValuesCap entries,
+	// highest frequencies first; ties kept deterministically by value).
 	TopValues map[string]int
 }
 
@@ -109,11 +115,32 @@ func buildColumn(tab *storage.Table, table string, col schema.Column) (*ColumnSt
 		for _, v := range c.Strs {
 			counts[v]++
 		}
-		cs.TopValues = make(map[string]int)
+		// Keep the actual most common values (the documented contract).
+		// Ranging over the counts map here would keep a random 64-value
+		// subset instead — which made string selectivities, and everything
+		// downstream of them (expert plans, featurizations, training), vary
+		// between identically-seeded builds. Ties break on the value so the
+		// kept set is fully deterministic.
+		type valueCount struct {
+			value string
+			n     int
+		}
+		all := make([]valueCount, 0, len(counts))
 		for v, n := range counts {
-			if len(cs.TopValues) < 64 {
-				cs.TopValues[v] = n
+			all = append(all, valueCount{v, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
 			}
+			return all[i].value < all[j].value
+		})
+		if len(all) > topValuesCap {
+			all = all[:topValuesCap]
+		}
+		cs.TopValues = make(map[string]int, len(all))
+		for _, e := range all {
+			cs.TopValues[e.value] = e.n
 		}
 	}
 	return cs, nil

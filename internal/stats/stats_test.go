@@ -259,3 +259,58 @@ func TestTPCHSelectivityAccuracy(t *testing.T) {
 		t.Errorf("uniform-data estimate %f should be close to truth %f", est, truth)
 	}
 }
+
+// TestTopValuesKeepsMostCommonDeterministically is the regression test for
+// the bug where TopValues kept the first topValuesCap values in random
+// map-iteration order instead of the most common ones — making string
+// selectivities (and everything downstream: expert plans, featurizations,
+// value-network training) differ between identically-seeded builds.
+func TestTopValuesKeepsMostCommonDeterministically(t *testing.T) {
+	s1, db := buildStats(t)
+	s2, err := Build(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, ts := range db.Catalog.Tables() {
+		for _, col := range ts.Columns {
+			c1 := s1.Column(ts.Name, col.Name)
+			c2 := s2.Column(ts.Name, col.Name)
+			if c1.TopValues == nil {
+				continue
+			}
+			if len(c1.TopValues) != len(c2.TopValues) {
+				t.Fatalf("%s.%s: TopValues sizes differ across builds: %d vs %d",
+					ts.Name, col.Name, len(c1.TopValues), len(c2.TopValues))
+			}
+			// Identical keys and counts across rebuilds.
+			minKept := math.MaxInt
+			for v, n := range c1.TopValues {
+				if n2, ok := c2.TopValues[v]; !ok || n2 != n {
+					t.Errorf("%s.%s: TopValues differ across builds for %q", ts.Name, col.Name, v)
+				}
+				if n < minKept {
+					minKept = n
+				}
+			}
+			// Every kept value must be at least as frequent as every dropped
+			// one ("most common" contract).
+			if c1.Distinct > len(c1.TopValues) {
+				counts := make(map[string]int)
+				for _, v := range db.Table(ts.Name).Column(col.Name).Strs {
+					counts[v]++
+				}
+				for v, n := range counts {
+					if _, kept := c1.TopValues[v]; !kept && n > minKept {
+						t.Errorf("%s.%s: dropped value %q (count %d) is more common than a kept value (count %d)",
+							ts.Name, col.Name, v, n, minKept)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no string column exceeded the top-values cap at this scale")
+	}
+}

@@ -142,6 +142,15 @@ type Config struct {
 	// Episodes is the default number of refinement episodes used by Train
 	// (default 10).
 	Episodes int
+	// Workers sizes the worker pool Train, Evaluate and PlanAll use to fan
+	// plan search and simulated execution out over goroutines (default
+	// GOMAXPROCS). Episode statistics and evaluation results are
+	// bit-identical to the serial path for a fixed seed regardless of the
+	// worker count, unless the featurizer injects cardinality error
+	// (stats.ErrorModel, the Figure 14 protocol — its perturbation stream
+	// is drawn in scheduling order); pass a negative value to force serial
+	// execution.
+	Workers int
 	// ValueNet overrides the value-network architecture (default: a small
 	// network structurally identical to the paper's).
 	ValueNet *ValueNetConfig
@@ -186,6 +195,95 @@ type System struct {
 	Native     *ExpertOptimizer // the engine's own native optimizer
 	Featurizer *Featurizer
 	Neo        *Optimizer
+
+	cache planCache
+}
+
+// PlanCacheStats reports the plan cache's effectiveness.
+type PlanCacheStats struct {
+	// Hits and Misses count Optimize/PlanAll lookups against the cache.
+	Hits, Misses uint64
+	// Size is the number of plans currently cached.
+	Size int
+	// Version is the value-network version the cached plans were searched
+	// with (see Optimizer.NetVersion).
+	Version uint64
+}
+
+// planCache memoises plan searches keyed on the query's structural
+// signature. Entries are valid only for the value-network version they were
+// searched with: a retraining round swaps in new weights, which can change
+// the preferred plan, so the first lookup after a swap drops every entry.
+type planCache struct {
+	mu      sync.Mutex
+	version uint64
+	entries map[string]cachedPlan
+	hits    uint64
+	misses  uint64
+}
+
+type cachedPlan struct {
+	plan   *Plan
+	result *SearchResult
+}
+
+// lookup returns the cached plan for a signature, invalidating the whole
+// cache first if the network version moved forward. A caller that read its
+// version before a swap gets a plain miss — it must not wipe entries already
+// repopulated under the newer version.
+func (c *planCache) lookup(sig string, version uint64) (cachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version > c.version {
+		c.version = version
+		c.entries = nil
+	}
+	if version < c.version {
+		c.misses++
+		return cachedPlan{}, false
+	}
+	e, ok := c.entries[sig]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// planCacheMaxEntries bounds the plan cache. Signatures embed predicate
+// literals, so a long-running server planning templates with varying
+// constants would otherwise grow the cache without limit between network
+// swaps.
+const planCacheMaxEntries = 4096
+
+// store records a search outcome, unless the network version moved again
+// while the search ran (a stale plan must not outlive the swap). When the
+// cache is full an arbitrary entry is replaced (random replacement: cheap,
+// and good enough for a cache that is wiped on every retraining round
+// anyway).
+func (c *planCache) store(sig string, version uint64, e cachedPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != version {
+		return
+	}
+	if c.entries == nil {
+		c.entries = make(map[string]cachedPlan)
+	}
+	if _, exists := c.entries[sig]; !exists && len(c.entries) >= planCacheMaxEntries {
+		for victim := range c.entries {
+			delete(c.entries, victim)
+			break
+		}
+	}
+	c.entries[sig] = e
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries), Version: c.version}
 }
 
 // Open assembles a System according to the configuration: it generates the
@@ -233,6 +331,7 @@ func Open(cfg Config) (*System, error) {
 	coreCfg.SearchExpansions = cfg.SearchExpansions
 	coreCfg.Cost = cfg.Cost
 	coreCfg.Seed = cfg.Seed
+	coreCfg.Workers = cfg.Workers
 	if cfg.ValueNet != nil {
 		coreCfg.ValueNet = *cfg.ValueNet
 	}
@@ -306,10 +405,62 @@ func (s *System) Train(train []*Query) ([]*EpisodeStats, error) {
 // otherwise batch members are scored one at a time.
 func Batched(s PlanScorer) BatchScorer { return search.Batched(s) }
 
-// Optimize returns Neo's plan for a query.
+// Optimize returns Neo's plan for a query. Results are memoised in a plan
+// cache keyed on the query's structural signature (Query.Signature), so
+// repeated queries — even under different IDs — skip the search entirely.
+// The cache is invalidated automatically whenever a retraining round swaps
+// in a new value network. Safe for concurrent use.
 func (s *System) Optimize(q *Query) (*Plan, *SearchResult, error) {
-	return s.Neo.Optimize(q)
+	sig := q.Signature()
+	version := s.Neo.NetVersion()
+	if e, ok := s.cache.lookup(sig, version); ok {
+		return e.bind(q)
+	}
+	p, res, err := s.Neo.Optimize(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Store only if no swap happened while the search ran: versions only
+	// increase, so an unchanged version proves the search's pinned snapshot
+	// belonged to it. (A search that raced a swap still returns a correct
+	// plan — it just isn't cached.)
+	if s.Neo.NetVersion() == version {
+		s.cache.store(sig, version, cachedPlan{plan: p, result: res})
+	}
+	return p, res, nil
 }
+
+// bind returns the cached plan, re-bound to the requesting query when the
+// cache hit came from a structurally identical query with a different
+// identity (plan trees are immutable after search, so the roots are shared).
+func (e cachedPlan) bind(q *Query) (*Plan, *SearchResult, error) {
+	if e.plan.Query == q {
+		return e.plan, e.result, nil
+	}
+	p := &Plan{Query: q, Roots: e.plan.Roots}
+	res := *e.result
+	res.Plan = p
+	return p, &res, nil
+}
+
+// PlanCacheStats reports hit/miss counters and the current size of the plan
+// cache.
+func (s *System) PlanCacheStats() PlanCacheStats { return s.cache.stats() }
+
+// Evaluate optimizes and executes every query over the configured worker
+// pool without adding anything to the experience (held-out evaluation). It
+// returns the total and per-query latencies; results are deterministic for
+// a fixed seed regardless of Config.Workers.
+func (s *System) Evaluate(queries []*Query) (float64, map[string]float64, error) {
+	return s.Neo.Evaluate(queries)
+}
+
+// RetrainAsync retrains the value network in the background while Optimize,
+// Evaluate and PlanAll keep serving plans from the previous network
+// snapshot. When training completes the new network is swapped in
+// atomically, the plan cache invalidates itself on the next lookup, and the
+// final training loss arrives on the returned channel.
+func (s *System) RetrainAsync() <-chan float64 { return s.Neo.RetrainAsync() }
 
 // OptimizeWith searches for a plan for q using a caller-supplied scorer in
 // place of the trained value network (useful for custom cost models,
@@ -336,16 +487,18 @@ type PlanResult struct {
 
 // PlanAll plans independent queries concurrently over the shared value
 // network using a fixed pool of workers (workers <= 0 selects GOMAXPROCS).
-// Value-network inference only reads the trained weights and every search
+// Every search scores against the current immutable network snapshot and
 // carries its own batched-scorer scratch, so planning scales across cores
-// without copying the network. Results are returned in input order; per-query
-// failures are reported in the corresponding PlanResult rather than aborting
-// the batch. PlanAll must not run concurrently with training (Bootstrap,
-// Train, RunEpisode), which mutates the weights it reads. When the
-// featurizer injects cardinality error (stats.ErrorModel, Figure 14
-// protocol), perturbations are drawn from one shared stream in scheduling
-// order, so concurrent planning is race-free but not run-to-run
-// reproducible; plan sequentially if that experiment needs determinism.
+// without copying the network, and repeated query structures are served
+// straight from the plan cache. Results are returned in input order;
+// per-query failures are reported in the corresponding PlanResult rather
+// than aborting the batch. PlanAll is safe to run while RetrainAsync trains
+// a new network in the background — searches in flight finish against the
+// snapshot they started with. When the featurizer injects cardinality error
+// (stats.ErrorModel, Figure 14 protocol), perturbations are drawn from one
+// shared stream in scheduling order, so concurrent planning is race-free
+// but not run-to-run reproducible; plan sequentially if that experiment
+// needs determinism.
 func (s *System) PlanAll(queries []*Query, workers int) []PlanResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -366,7 +519,7 @@ func (s *System) PlanAll(queries []*Query, workers int) []PlanResult {
 					return
 				}
 				q := queries[i]
-				p, res, err := s.Neo.Optimize(q)
+				p, res, err := s.Optimize(q)
 				results[i] = PlanResult{Query: q, Plan: p, Result: res, Err: err}
 			}
 		}()

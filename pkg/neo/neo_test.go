@@ -209,3 +209,147 @@ func TestPlanAllMatchesSequentialOptimize(t *testing.T) {
 		t.Errorf("PlanAll(nil) returned %d results", len(got))
 	}
 }
+
+// TestPlanCache exercises the signature-keyed plan cache: repeated queries
+// skip the search, structurally identical queries under different IDs share
+// an entry, and a retraining round (network swap) invalidates everything.
+func TestPlanCache(t *testing.T) {
+	sys := smallSystem(t, "imdb", "postgres", Histogram)
+	wl, err := sys.GenerateWorkload(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(wl.Queries); err != nil {
+		t.Fatal(err)
+	}
+	q := wl.Queries[0]
+
+	p1, r1, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, r2, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 || r1 != r2 {
+		t.Errorf("second Optimize of the same query should be served from the cache")
+	}
+	st := sys.PlanCacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("cache stats after two lookups = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+
+	// A structurally identical query under a different ID hits the cache and
+	// gets the plan re-bound to its own identity.
+	alias := NewQuery("alias-id", q.Relations, q.Joins, q.Predicates)
+	p3, r3, err := sys.Optimize(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Query != alias {
+		t.Errorf("cached plan should be re-bound to the requesting query")
+	}
+	if p3.Signature() != p1.Signature() || r3.Plan != p3 {
+		t.Errorf("re-bound plan should share the cached plan's structure")
+	}
+	if st = sys.PlanCacheStats(); st.Hits != 2 {
+		t.Errorf("alias lookup should hit the cache: %+v", st)
+	}
+
+	// Retraining swaps the network; the next lookup must drop the cache.
+	version := sys.Neo.NetVersion()
+	sys.Neo.Retrain()
+	if sys.Neo.NetVersion() != version+1 {
+		t.Fatalf("Retrain should bump the network version")
+	}
+	p4, _, err := sys.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Errorf("plan should be re-searched after a network swap")
+	}
+	if st = sys.PlanCacheStats(); st.Size != 1 || st.Version != version+1 {
+		t.Errorf("cache should hold only the re-searched plan at the new version: %+v", st)
+	}
+}
+
+// TestPlanAllWhileRetrainAsync exercises the double-buffered serving path
+// under -race: concurrent PlanAll batches keep planning from the previous
+// network snapshot while a background retraining round swaps in a new one.
+func TestPlanAllWhileRetrainAsync(t *testing.T) {
+	sys := smallSystem(t, "imdb", "postgres", Histogram)
+	wl, err := sys.GenerateWorkload(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(wl.Queries); err != nil {
+		t.Fatal(err)
+	}
+	done := sys.RetrainAsync()
+	for i := 0; i < 3; i++ {
+		for _, r := range sys.PlanAll(wl.Queries, 4) {
+			if r.Err != nil {
+				t.Fatalf("PlanAll during async retrain: %v", r.Err)
+			}
+			if r.Plan == nil || !r.Plan.IsComplete() {
+				t.Fatalf("incomplete plan during async retrain")
+			}
+		}
+	}
+	if loss := <-done; loss <= 0 {
+		t.Errorf("async retrain should report a positive loss, got %v", loss)
+	}
+	// After the swap, planning still works and the cache rebuilt itself.
+	if _, _, err := sys.Optimize(wl.Queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.PlanCacheStats(); st.Version != sys.Neo.NetVersion() {
+		t.Errorf("cache version %d should track the network version %d", st.Version, sys.Neo.NetVersion())
+	}
+}
+
+// TestEvaluateDeterministicAcrossWorkers checks the facade-level promise
+// that Config.Workers only changes wall-clock time, never results.
+func TestEvaluateDeterministicAcrossWorkers(t *testing.T) {
+	build := func(workers int) (*System, []*Query) {
+		sys, err := Open(Config{
+			Dataset: "imdb", Engine: "postgres", Encoding: Histogram,
+			Scale: 0.15, Seed: 7, SearchExpansions: 32, Episodes: 1, Workers: workers,
+			ValueNet: &ValueNetConfig{
+				QueryLayers: []int{16, 8}, TreeChannels: []int{8, 8}, HeadLayers: []int{8},
+				LearningRate: 2e-3, UseLayerNorm: true, Seed: 3,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := sys.GenerateWorkload(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Bootstrap(wl.Queries[:5]); err != nil {
+			t.Fatal(err)
+		}
+		return sys, wl.Queries[5:]
+	}
+	serialSys, serialTest := build(-1)
+	parallelSys, parallelTest := build(8)
+	sTotal, sPer, err := serialSys.Evaluate(serialTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTotal, pPer, err := parallelSys.Evaluate(parallelTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTotal != pTotal {
+		t.Errorf("Evaluate totals differ across worker counts: %v vs %v", sTotal, pTotal)
+	}
+	for id, lat := range sPer {
+		if pPer[id] != lat {
+			t.Errorf("query %s: latency differs across worker counts: %v vs %v", id, lat, pPer[id])
+		}
+	}
+}
