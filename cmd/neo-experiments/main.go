@@ -21,15 +21,16 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run ("+strings.Join(experiments.Names(), ", ")+" or 'all')")
-		full      = flag.Bool("full", false, "use paper-scale settings (slow)")
-		episodes  = flag.Int("episodes", 0, "override the number of training episodes")
-		scale     = flag.Float64("scale", 0, "override the synthetic data scale factor")
-		seed      = flag.Int64("seed", 0, "override the random seed")
-		engines   = flag.String("engines", "", "comma-separated engine subset (postgres,sqlite,engine-m,engine-o)")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (job,tpch,corp)")
-		workers   = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
-		out       = flag.String("out", "", "write reports to this file as well as stdout")
+		exp          = flag.String("exp", "all", "experiment to run ("+strings.Join(experiments.Names(), ", ")+" or 'all')")
+		full         = flag.Bool("full", false, "use paper-scale settings (slow)")
+		episodes     = flag.Int("episodes", 0, "override the number of training episodes")
+		scale        = flag.Float64("scale", 0, "override the synthetic data scale factor")
+		seed         = flag.Int64("seed", 0, "override the random seed")
+		engines      = flag.String("engines", "", "comma-separated engine subset (postgres,sqlite,engine-m,engine-o)")
+		workloads    = flag.String("workloads", "", "comma-separated workload subset (job,tpch,corp)")
+		workers      = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
+		trainWorkers = flag.Int("train-workers", 0, "gradient worker-pool size for value-network training (0 = GOMAXPROCS, negative = serial; trained weights are bit-identical for every worker count)")
+		out          = flag.String("out", "", "write reports to this file as well as stdout")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
 	cfg.Workers = *workers
+	cfg.TrainWorkers = *trainWorkers
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -19,25 +19,27 @@ import (
 
 func main() {
 	var (
-		dataset    = flag.String("dataset", "imdb", "synthetic dataset: imdb, tpch or corp")
-		engineName = flag.String("engine", "postgres", "simulated engine: postgres, sqlite, engine-m or engine-o")
-		encoding   = flag.String("encoding", "r-vector", "featurization: 1-hot, histogram, r-vector, r-vector-nojoins")
-		episodes   = flag.Int("episodes", 8, "refinement episodes after bootstrapping")
-		queries    = flag.Int("queries", 24, "number of workload queries to generate")
-		scale      = flag.Float64("scale", 0.4, "synthetic data scale factor")
-		seed       = flag.Int64("seed", 42, "random seed")
-		workers    = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
+		dataset      = flag.String("dataset", "imdb", "synthetic dataset: imdb, tpch or corp")
+		engineName   = flag.String("engine", "postgres", "simulated engine: postgres, sqlite, engine-m or engine-o")
+		encoding     = flag.String("encoding", "r-vector", "featurization: 1-hot, histogram, r-vector, r-vector-nojoins")
+		episodes     = flag.Int("episodes", 8, "refinement episodes after bootstrapping")
+		queries      = flag.Int("queries", 24, "number of workload queries to generate")
+		scale        = flag.Float64("scale", 0.4, "synthetic data scale factor")
+		seed         = flag.Int64("seed", 42, "random seed")
+		workers      = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
+		trainWorkers = flag.Int("train-workers", 0, "gradient worker-pool size for value-network training (0 = GOMAXPROCS, negative = serial; trained weights are bit-identical for every worker count)")
 	)
 	flag.Parse()
 
 	sys, err := neo.Open(neo.Config{
-		Dataset:  *dataset,
-		Engine:   *engineName,
-		Encoding: neo.Encoding(*encoding),
-		Scale:    *scale,
-		Seed:     *seed,
-		Episodes: *episodes,
-		Workers:  *workers,
+		Dataset:      *dataset,
+		Engine:       *engineName,
+		Encoding:     neo.Encoding(*encoding),
+		Scale:        *scale,
+		Seed:         *seed,
+		Episodes:     *episodes,
+		Workers:      *workers,
+		TrainWorkers: *trainWorkers,
 	})
 	if err != nil {
 		fatal(err)

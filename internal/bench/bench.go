@@ -1,0 +1,291 @@
+// Package bench holds the shared fixtures and runners behind the repo's
+// benchmark-regression gate. cmd/neo-bench executes the suites with
+// testing.Benchmark, emits one BENCH_<suite>.json per suite (ns/op and
+// allocs/op per benchmark), and compares fresh results against the committed
+// baselines — so CI fails when a hot path regresses rather than months later
+// when someone happens to re-measure. The root *_bench_test.go files expose
+// the same measurements through `go test -bench` for interactive use.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"neo/internal/treeconv"
+	"neo/internal/valuenet"
+	"neo/pkg/neo"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Suite is the unit the gate compares: a named set of benchmark results,
+// serialised as BENCH_<name>.json.
+type Suite struct {
+	Suite      string   `json:"suite"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Names lists the available suites in run order.
+func Names() []string { return []string{"score", "train", "episode"} }
+
+// Run executes one suite by name.
+func Run(name string) (Suite, error) {
+	switch name {
+	case "score":
+		return Scoring(), nil
+	case "train":
+		return Training(), nil
+	case "episode":
+		return Episode(), nil
+	default:
+		return Suite{}, fmt.Errorf("bench: unknown suite %q (have %v)", name, Names())
+	}
+}
+
+// measure runs fn under testing.Benchmark and records it.
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{Name: name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+}
+
+// fixture is the scoring/training workload: a value network plus a batch of
+// candidate-plan forests shaped like one best-first expansion — batchSize
+// left-deep join trees over ~10 relations, all sharing the query's encoding
+// slice (the dedup hot path).
+type fixture struct {
+	net     *valuenet.Network
+	queries [][]float64
+	forests [][]*treeconv.Tree
+	samples []valuenet.Sample
+}
+
+func newFixture(batchSize, trainWorkers int) *fixture {
+	const queryDim, planDim = 32, 24
+	rng := rand.New(rand.NewSource(99))
+	randVec := func(dim int) []float64 {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	var buildTree func(n int) *treeconv.Tree
+	buildTree = func(n int) *treeconv.Tree {
+		if n <= 1 {
+			return treeconv.NewLeaf(randVec(planDim))
+		}
+		return treeconv.NewNode(randVec(planDim), buildTree(n-1), treeconv.NewLeaf(randVec(planDim)))
+	}
+	cfg := valuenet.DefaultConfig()
+	cfg.TrainWorkers = trainWorkers
+	f := &fixture{net: valuenet.New(queryDim, planDim, cfg)}
+	f.net.FitTargetTransform([]float64{10, 100, 1000})
+	query := randVec(queryDim)
+	for i := 0; i < batchSize; i++ {
+		f.queries = append(f.queries, query)
+		f.forests = append(f.forests, []*treeconv.Tree{buildTree(10)})
+		f.samples = append(f.samples, valuenet.Sample{
+			Query:  query,
+			Plan:   f.forests[i],
+			Target: math.Exp(rng.Float64() * 8),
+		})
+	}
+	return f
+}
+
+// Scoring measures batched versus sequential inference at batch 32 (the
+// BenchmarkBatchedVsSequentialScoring pair).
+func Scoring() Suite {
+	const batchSize = 32
+	f := newFixture(batchSize, 1)
+	return Suite{Suite: "score", Benchmarks: []Result{
+		measure("scoring/sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batchSize; j++ {
+					f.net.Predict(f.queries[j], f.forests[j])
+				}
+			}
+		}),
+		measure("scoring/batched", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.net.PredictBatch(f.queries, f.forests)
+			}
+		}),
+	}}
+}
+
+// Training measures one gradient step over a 32-sample minibatch: the
+// per-sample tape path versus the shared batched forward+backward pass (the
+// BenchmarkBatchedTraining trio).
+func Training() Suite {
+	const batchSize = 32
+	perSample := newFixture(batchSize, 1)
+	batched := newFixture(batchSize, 1)
+	workers := newFixture(batchSize, 4)
+	return Suite{Suite: "train", Benchmarks: []Result{
+		measure("training/per-sample", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				perSample.net.TrainBatchPerSample(perSample.samples)
+			}
+		}),
+		measure("training/batched", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				batched.net.TrainBatch(batched.samples)
+			}
+		}),
+		measure("training/batched-workers=4", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				workers.net.TrainBatch(workers.samples)
+			}
+		}),
+	}}
+}
+
+// Episode measures one held-out evaluation sweep (plan search + simulated
+// execution for a 16-query workload) over a bootstrapped system — the
+// end-to-end number the episode pipeline optimises.
+func Episode() Suite {
+	sys, err := neo.Open(neo.Config{
+		Dataset:          "imdb",
+		Engine:           "postgres",
+		Encoding:         neo.Histogram,
+		Scale:            0.25,
+		Seed:             17,
+		SearchExpansions: 64,
+		Episodes:         1,
+		ValueNet: &neo.ValueNetConfig{
+			QueryLayers:  []int{32, 16},
+			TreeChannels: []int{16, 16, 8},
+			HeadLayers:   []int{16},
+			LearningRate: 2e-3,
+			UseLayerNorm: true,
+			Seed:         3,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: episode fixture: %v", err))
+	}
+	wl, err := sys.GenerateWorkload(16)
+	if err != nil {
+		panic(fmt.Sprintf("bench: episode workload: %v", err))
+	}
+	if err := sys.Bootstrap(wl.Queries[:8]); err != nil {
+		panic(fmt.Sprintf("bench: episode bootstrap: %v", err))
+	}
+	return Suite{Suite: "episode", Benchmarks: []Result{
+		measure("episode/evaluate-serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sys.Neo.EvaluateParallel(wl.Queries, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}}
+}
+
+// FileName returns the JSON file name a suite is stored under.
+func FileName(suite string) string { return "BENCH_" + suite + ".json" }
+
+// Write serialises the suite as <dir>/BENCH_<suite>.json.
+func Write(dir string, s Suite) (string, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(s.Suite))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a suite file written by Write.
+func Load(path string) (Suite, error) {
+	var s Suite
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Compare applies the regression gate: every benchmark present in both the
+// baseline and the fresh suite must not regress by more than tolerance× in
+// ns/op or allocs/op. The tolerance is deliberately generous (CI runners are
+// slow, shared and single-core — the gate catches 2× blowups, not 5%
+// jitter). Allocation counts get a small absolute slack so near-zero
+// baselines don't flap. Returned problems are empty when the gate passes.
+func Compare(baseline, fresh Suite, tolerance float64) []string {
+	var problems []string
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	names := make([]string, 0, len(fresh.Benchmarks))
+	freshBy := make(map[string]Result, len(fresh.Benchmarks))
+	for _, r := range fresh.Benchmarks {
+		names = append(names, r.Name)
+		freshBy[r.Name] = r
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			continue // new benchmark: becomes part of the baseline when committed
+		}
+		f := freshBy[name]
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*tolerance {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (> %.1fx regression)",
+				name, f.NsPerOp, b.NsPerOp, tolerance))
+		}
+		allocBudget := float64(b.AllocsPerOp)*tolerance + 16
+		if float64(f.AllocsPerOp) > allocBudget {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d allocs/op (> %.1fx regression)",
+				name, f.AllocsPerOp, b.AllocsPerOp, tolerance))
+		}
+	}
+	for _, r := range baseline.Benchmarks {
+		if _, ok := freshBy[r.Name]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: present in baseline but not measured", r.Name))
+		}
+	}
+	return problems
+}
+
+// Speedup returns fast's speedup over slow (slowNs / fastNs) looked up by
+// benchmark name, or an error when either is missing. The gate uses it for
+// hardware-independent ratio checks (batched must actually beat
+// per-sample, wherever it runs).
+func Speedup(s Suite, slow, fast string) (float64, error) {
+	var slowNs, fastNs float64
+	for _, r := range s.Benchmarks {
+		switch r.Name {
+		case slow:
+			slowNs = r.NsPerOp
+		case fast:
+			fastNs = r.NsPerOp
+		}
+	}
+	if slowNs == 0 || fastNs == 0 {
+		return 0, fmt.Errorf("bench: suite %s lacks %q or %q", s.Suite, slow, fast)
+	}
+	return slowNs / fastNs, nil
+}

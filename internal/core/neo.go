@@ -69,6 +69,16 @@ type Config struct {
 	// experiment needs reproducibility. Zero selects GOMAXPROCS; a negative
 	// value forces serial execution.
 	Workers int
+	// TrainWorkers is the number of data-parallel gradient workers each
+	// retraining minibatch is sharded over (valuenet.Config.TrainWorkers).
+	// Trained weights are bit-identical for every worker count — the shard
+	// partition and gradient-reduction order depend only on the batch size —
+	// so parallel training is always safe to enable. Useful parallelism is
+	// bounded by the number of 8-sample shards a minibatch splits into
+	// (ceil(BatchSize/8)); raise BatchSize alongside TrainWorkers to feed
+	// more workers. Zero selects GOMAXPROCS; a negative value forces serial
+	// training.
+	TrainWorkers int
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -172,9 +182,18 @@ func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
 	if cfg.Workers < 0 {
 		cfg.Workers = 1
 	}
+	if cfg.TrainWorkers == 0 {
+		cfg.TrainWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TrainWorkers < 0 {
+		cfg.TrainWorkers = 1
+	}
 	if len(cfg.ValueNet.QueryLayers) == 0 {
 		cfg.ValueNet = def.ValueNet
 	}
+	// The value network reads its worker count from its own config; the
+	// normalized core setting is authoritative.
+	cfg.ValueNet.TrainWorkers = cfg.TrainWorkers
 	net := valuenet.New(feat.QueryVectorSize(), feat.PlanVectorSize(), cfg.ValueNet)
 	n := &Neo{
 		Engine:        eng,
@@ -428,10 +447,13 @@ func constructionStates(p *plan.Plan) []*plan.Plan {
 }
 
 // Retrain rebuilds the training set from the experience, (re)trains the
-// live value network, and atomically swaps the freshly trained weights in
-// as the serving snapshot. It returns the final training loss. Retraining
-// rounds are serialized; plan searches may run concurrently — they keep
-// scoring with the previous snapshot until the swap.
+// live value network — one shared batched forward/backward pass per
+// minibatch, sharded over Config.TrainWorkers data-parallel gradient
+// workers (bit-identical for every worker count) — and atomically swaps the
+// freshly trained weights in as the serving snapshot. It returns the final
+// training loss. Retraining rounds are serialized; plan searches may run
+// concurrently — they keep scoring with the previous snapshot until the
+// swap.
 func (n *Neo) Retrain() float64 {
 	n.trainMu.Lock()
 	defer n.trainMu.Unlock()

@@ -52,6 +52,11 @@ type Config struct {
 	// to serial execution for a fixed seed, so parallelism only changes
 	// wall-clock time. Zero selects GOMAXPROCS; negative forces serial.
 	Workers int
+	// TrainWorkers sizes the data-parallel gradient worker pool each
+	// retraining minibatch is sharded over. Trained weights are bit-identical
+	// for every worker count. Zero selects GOMAXPROCS; negative forces
+	// serial training.
+	TrainWorkers int
 }
 
 // Quick returns the configuration used by the benchmark harness: small
@@ -283,6 +288,7 @@ func (e *Env) neoConfig(costFn core.CostFunction) core.Config {
 		Cost:             costFn,
 		Seed:             e.Config.Seed,
 		Workers:          e.Config.Workers,
+		TrainWorkers:     e.Config.TrainWorkers,
 	}
 }
 

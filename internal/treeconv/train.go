@@ -1,0 +1,422 @@
+// Batched tree-convolution training. batch.go flattens forests into index
+// arrays for inference; the routines here extend the same layout to training:
+// ForwardBatchTape retains every layer's pre-activation matrix so
+// BackwardBatch can propagate a flat gradient matrix through the whole stack
+// — and PoolBatchArgmax / PoolBackwardBatch replace the per-tree dynamic
+// pooling with a single flat pass that records, per (sample, channel), which
+// node supplied the maximum.
+//
+// Bit-parity contract: nodes are visited in the flattened order BatchBuilder
+// assigns (forests in sample order, trees in forest order, nodes in
+// pre-order), which is exactly the order the per-tree recursion of
+// Layer.backwardNode visits them, so every parameter element accumulates its
+// gradient contributions in the same floating-point order as the per-sample
+// path.
+package treeconv
+
+import (
+	"math"
+
+	"neo/internal/nn"
+)
+
+// ShadowGrad returns a Layer sharing l's filter weights with private, zeroed
+// gradient buffers (see nn.Param.ShadowGrad).
+func (l *Layer) ShadowGrad() *Layer {
+	return &Layer{
+		InChannels:  l.InChannels,
+		OutChannels: l.OutChannels,
+		EP:          l.EP.ShadowGrad(),
+		EL:          l.EL.ShadowGrad(),
+		ER:          l.ER.ShadowGrad(),
+		Bias:        l.Bias.ShadowGrad(),
+		Act:         l.Act,
+	}
+}
+
+// ShadowGrad returns a Stack sharing s's weights with private gradient
+// buffers.
+func (s *Stack) ShadowGrad() *Stack {
+	out := &Stack{}
+	for _, l := range s.Layers {
+		out.Layers = append(out.Layers, l.ShadowGrad())
+	}
+	return out
+}
+
+// StackBatchTape records one batched forward pass through the stack for
+// backpropagation: the input batch plus, per layer, the pre-activation
+// matrix and the activated output batch. All float storage is drawn from the
+// arena passed to ForwardBatchTape.
+type StackBatchTape struct {
+	in   *Batch
+	pre  [][]float64 // per layer: N×OutChannels pre-activation values
+	outs []*Batch    // per layer: activated outputs
+}
+
+// Output returns the final convolved batch.
+func (t *StackBatchTape) Output() *Batch { return t.outs[len(t.outs)-1] }
+
+// ForwardBatchTape runs every layer over the flattened batch, recording a
+// tape for BackwardBatch. Unlike the fused inference kernels of
+// ForwardBatch, pre-activation values are materialised per layer; per node
+// the convolution performs the same operations in the same order as
+// Layer.convolve, so outputs are bit-identical to the per-tree Forward.
+func (s *Stack) ForwardBatchTape(in *Batch, a *nn.Arena) *StackBatchTape {
+	maxIn := 0
+	for _, l := range s.Layers {
+		if l.InChannels > maxIn {
+			maxIn = l.InChannels
+		}
+	}
+	zeros := a.Alloc(maxIn)
+	for i := range zeros {
+		zeros[i] = 0
+	}
+	t := &StackBatchTape{in: in}
+	cur := in
+	for _, l := range s.Layers {
+		pre := a.Alloc(in.N * l.OutChannels)
+		l.convBatchPre(cur, pre, zeros)
+		out := &Batch{
+			Channels: l.OutChannels,
+			N:        cur.N,
+			Samples:  cur.Samples,
+			Left:     cur.Left,
+			Right:    cur.Right,
+			Sample:   cur.Sample,
+			Data:     a.Alloc(cur.N * l.OutChannels),
+		}
+		alpha := l.Act.Alpha
+		for i, v := range pre {
+			if v >= 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = alpha * v
+			}
+		}
+		t.pre = append(t.pre, pre)
+		t.outs = append(t.outs, out)
+		cur = out
+	}
+	return t
+}
+
+// convBatchPre convolves the filterbank over every node of in, writing the
+// pre-activation values into pre. Like the inference kernels, childless
+// nodes skip the child dot products entirely (bit-identical up to the sign
+// of zero) and join nodes run a 4-way-unrolled kernel whose per-channel
+// operation order matches Layer.convolve exactly; one-child nodes fall back
+// to the padded generic kernel.
+func (l *Layer) convBatchPre(in *Batch, pre, zeros []float64) {
+	ic := l.InChannels
+	for n := 0; n < in.N; n++ {
+		x := in.Row(n)
+		y := pre[n*l.OutChannels : (n+1)*l.OutChannels]
+		li, ri := in.Left[n], in.Right[n]
+		switch {
+		case li < 0 && ri < 0:
+			l.convLeafPre(x, y)
+		case li >= 0 && ri >= 0:
+			l.convBothPre(x, in.Row(li), in.Row(ri), y)
+		default:
+			xl, xr := zeros[:ic], zeros[:ic]
+			if li >= 0 {
+				xl = in.Row(li)
+			}
+			if ri >= 0 {
+				xr = in.Row(ri)
+			}
+			for o := 0; o < l.OutChannels; o++ {
+				sum := l.Bias.Value[o]
+				ep := l.EP.Value[o*ic : o*ic+ic]
+				el := l.EL.Value[o*ic : o*ic+ic]
+				er := l.ER.Value[o*ic : o*ic+ic]
+				for i := 0; i < ic; i++ {
+					sum += ep[i] * x[i]
+					sum += el[i] * xl[i]
+					sum += er[i] * xr[i]
+				}
+				y[o] = sum
+			}
+		}
+	}
+}
+
+// convBothPre is convBoth without the fused activation: four independent
+// accumulator chains per pass, per-channel operation order identical to
+// Layer.convolve.
+func (l *Layer) convBothPre(x, xl, xr, y []float64) {
+	ic := l.InChannels
+	o := 0
+	for ; o+4 <= l.OutChannels; o += 4 {
+		ep0 := l.EP.Value[o*ic : o*ic+ic]
+		ep1 := l.EP.Value[(o+1)*ic : (o+1)*ic+ic]
+		ep2 := l.EP.Value[(o+2)*ic : (o+2)*ic+ic]
+		ep3 := l.EP.Value[(o+3)*ic : (o+3)*ic+ic]
+		el0 := l.EL.Value[o*ic : o*ic+ic]
+		el1 := l.EL.Value[(o+1)*ic : (o+1)*ic+ic]
+		el2 := l.EL.Value[(o+2)*ic : (o+2)*ic+ic]
+		el3 := l.EL.Value[(o+3)*ic : (o+3)*ic+ic]
+		er0 := l.ER.Value[o*ic : o*ic+ic]
+		er1 := l.ER.Value[(o+1)*ic : (o+1)*ic+ic]
+		er2 := l.ER.Value[(o+2)*ic : (o+2)*ic+ic]
+		er3 := l.ER.Value[(o+3)*ic : (o+3)*ic+ic]
+		s0 := l.Bias.Value[o]
+		s1 := l.Bias.Value[o+1]
+		s2 := l.Bias.Value[o+2]
+		s3 := l.Bias.Value[o+3]
+		for i := 0; i < ic; i++ {
+			xv, lv, rv := x[i], xl[i], xr[i]
+			s0 += ep0[i] * xv
+			s0 += el0[i] * lv
+			s0 += er0[i] * rv
+			s1 += ep1[i] * xv
+			s1 += el1[i] * lv
+			s1 += er1[i] * rv
+			s2 += ep2[i] * xv
+			s2 += el2[i] * lv
+			s2 += er2[i] * rv
+			s3 += ep3[i] * xv
+			s3 += el3[i] * lv
+			s3 += er3[i] * rv
+		}
+		y[o] = s0
+		y[o+1] = s1
+		y[o+2] = s2
+		y[o+3] = s3
+	}
+	for ; o < l.OutChannels; o++ {
+		sum := l.Bias.Value[o]
+		ep := l.EP.Value[o*ic : o*ic+ic]
+		el := l.EL.Value[o*ic : o*ic+ic]
+		er := l.ER.Value[o*ic : o*ic+ic]
+		for i := 0; i < ic; i++ {
+			sum += ep[i] * x[i]
+			sum += el[i] * xl[i]
+			sum += er[i] * xr[i]
+		}
+		y[o] = sum
+	}
+}
+
+// convLeafPre is convLeaf without the fused activation.
+func (l *Layer) convLeafPre(x, y []float64) {
+	ic := l.InChannels
+	o := 0
+	for ; o+4 <= l.OutChannels; o += 4 {
+		ep0 := l.EP.Value[o*ic : o*ic+ic]
+		ep1 := l.EP.Value[(o+1)*ic : (o+1)*ic+ic]
+		ep2 := l.EP.Value[(o+2)*ic : (o+2)*ic+ic]
+		ep3 := l.EP.Value[(o+3)*ic : (o+3)*ic+ic]
+		s0 := l.Bias.Value[o]
+		s1 := l.Bias.Value[o+1]
+		s2 := l.Bias.Value[o+2]
+		s3 := l.Bias.Value[o+3]
+		for i, xv := range x {
+			s0 += ep0[i] * xv
+			s1 += ep1[i] * xv
+			s2 += ep2[i] * xv
+			s3 += ep3[i] * xv
+		}
+		y[o] = s0
+		y[o+1] = s1
+		y[o+2] = s2
+		y[o+3] = s3
+	}
+	for ; o < l.OutChannels; o++ {
+		sum := l.Bias.Value[o]
+		ep := l.EP.Value[o*ic : o*ic+ic]
+		for i, xv := range x {
+			sum += ep[i] * xv
+		}
+		y[o] = sum
+	}
+}
+
+// BackwardBatch propagates a flat N×lastChannels gradient matrix through the
+// taped forward pass, accumulating filter gradients, and returns the
+// N×inChannels gradient with respect to the input batch's node vectors.
+func (s *Stack) BackwardBatch(t *StackBatchTape, gradOut []float64, a *nn.Arena) []float64 {
+	grad := gradOut
+	for li := len(s.Layers) - 1; li >= 0; li-- {
+		l := s.Layers[li]
+		in := t.in
+		if li > 0 {
+			in = t.outs[li-1]
+		}
+		pre := t.pre[li]
+		// Activation backward (elementwise over the whole batch).
+		gradPre := a.Alloc(len(pre))
+		alpha := l.Act.Alpha
+		for i, v := range pre {
+			if v >= 0 {
+				gradPre[i] = grad[i]
+			} else {
+				gradPre[i] = alpha * grad[i]
+			}
+		}
+		gradIn := a.Alloc(in.N * l.InChannels)
+		for i := range gradIn {
+			gradIn[i] = 0
+		}
+		l.backwardBatchNodes(in, gradPre, gradIn)
+		grad = gradIn
+	}
+	return grad
+}
+
+// backwardBatchNodes is the flat analogue of backwardNode: one pass over the
+// batch's nodes in flattened pre-order, accumulating filter gradients and
+// scattering input gradients to each node and its children. Statement order
+// inside the inner loops mirrors backwardNode exactly; like the forward
+// kernels, childless nodes get a specialised loop that skips the g·0 child
+// terms (bit-identical up to the sign of zero) and join nodes a branch-free
+// one, with one-child nodes falling back to a padded generic kernel.
+func (l *Layer) backwardBatchNodes(in *Batch, gradPre, gradIn []float64) {
+	ic := l.InChannels
+	oc := l.OutChannels
+	for n := 0; n < in.N; n++ {
+		x := in.Row(n)
+		li, ri := in.Left[n], in.Right[n]
+		gin := gradIn[n*ic : (n+1)*ic]
+		gp := gradPre[n*oc : (n+1)*oc]
+		switch {
+		case li < 0 && ri < 0:
+			for o := 0; o < oc; o++ {
+				g := gp[o]
+				if g == 0 {
+					continue
+				}
+				l.Bias.Grad[o] += g
+				ep := l.EP.Value[o*ic : (o+1)*ic]
+				epg := l.EP.Grad[o*ic : (o+1)*ic]
+				for i := 0; i < ic; i++ {
+					epg[i] += g * x[i]
+					gin[i] += g * ep[i]
+				}
+			}
+		case li >= 0 && ri >= 0:
+			xl, xr := in.Row(li), in.Row(ri)
+			ginL := gradIn[li*ic : (li+1)*ic]
+			ginR := gradIn[ri*ic : (ri+1)*ic]
+			for o := 0; o < oc; o++ {
+				g := gp[o]
+				if g == 0 {
+					continue
+				}
+				l.Bias.Grad[o] += g
+				ep := l.EP.Value[o*ic : (o+1)*ic]
+				el := l.EL.Value[o*ic : (o+1)*ic]
+				er := l.ER.Value[o*ic : (o+1)*ic]
+				epg := l.EP.Grad[o*ic : (o+1)*ic]
+				elg := l.EL.Grad[o*ic : (o+1)*ic]
+				erg := l.ER.Grad[o*ic : (o+1)*ic]
+				for i := 0; i < ic; i++ {
+					epg[i] += g * x[i]
+					elg[i] += g * xl[i]
+					erg[i] += g * xr[i]
+					gin[i] += g * ep[i]
+					ginL[i] += g * el[i]
+					ginR[i] += g * er[i]
+				}
+			}
+		default:
+			var xl, xr, ginL, ginR []float64
+			if li >= 0 {
+				xl = in.Row(li)
+				ginL = gradIn[li*ic : (li+1)*ic]
+			}
+			if ri >= 0 {
+				xr = in.Row(ri)
+				ginR = gradIn[ri*ic : (ri+1)*ic]
+			}
+			for o := 0; o < oc; o++ {
+				g := gp[o]
+				if g == 0 {
+					continue
+				}
+				l.Bias.Grad[o] += g
+				ep := l.EP.Value[o*ic : (o+1)*ic]
+				el := l.EL.Value[o*ic : (o+1)*ic]
+				er := l.ER.Value[o*ic : (o+1)*ic]
+				epg := l.EP.Grad[o*ic : (o+1)*ic]
+				elg := l.EL.Grad[o*ic : (o+1)*ic]
+				erg := l.ER.Grad[o*ic : (o+1)*ic]
+				for i := 0; i < ic; i++ {
+					epg[i] += g * x[i]
+					if xl != nil {
+						elg[i] += g * xl[i]
+					}
+					if xr != nil {
+						erg[i] += g * xr[i]
+					}
+					gin[i] += g * ep[i]
+					if ginL != nil {
+						ginL[i] += g * el[i]
+					}
+					if ginR != nil {
+						ginR[i] += g * er[i]
+					}
+				}
+			}
+		}
+	}
+}
+
+// PoolBatchArgmax is PoolBatch plus an argmax record: argmax[s*Channels+c]
+// is the index of the node that supplied sample s's maximum for channel c
+// (-1 for empty samples). Ties keep the first node in flattened order, which
+// matches the per-tree DynamicPool argmax combined with the cross-tree
+// strict-greater ownership comparison of the per-sample forward pass. The
+// argmax slice is (re)used from argmaxBuf when it has capacity.
+func PoolBatchArgmax(b *Batch, a *nn.Arena, argmaxBuf []int) (pooled []float64, argmax []int) {
+	dim := b.Channels
+	pooled = a.Alloc(b.Samples * dim)
+	if cap(argmaxBuf) < b.Samples*dim {
+		argmax = make([]int, b.Samples*dim)
+	} else {
+		argmax = argmaxBuf[:b.Samples*dim]
+	}
+	for i := range pooled {
+		pooled[i] = math.Inf(-1)
+		argmax[i] = -1
+	}
+	for n := 0; n < b.N; n++ {
+		base := b.Sample[n] * dim
+		row := pooled[base : base+dim]
+		for i, v := range b.Row(n) {
+			if v > row[i] {
+				row[i] = v
+				argmax[base+i] = n
+			}
+		}
+	}
+	for i := range pooled {
+		if math.IsInf(pooled[i], -1) {
+			pooled[i] = 0
+		}
+	}
+	return pooled, argmax
+}
+
+// PoolBackwardBatch scatters a Samples×Channels pooled-gradient matrix back
+// to the node level: every (sample, channel) gradient lands on the argmax
+// node recorded by PoolBatchArgmax, all other node gradients are zero.
+func PoolBackwardBatch(b *Batch, argmax []int, gradPooled []float64, a *nn.Arena) []float64 {
+	dim := b.Channels
+	gradNodes := a.Alloc(b.N * dim)
+	for i := range gradNodes {
+		gradNodes[i] = 0
+	}
+	for s := 0; s < b.Samples; s++ {
+		for c := 0; c < dim; c++ {
+			n := argmax[s*dim+c]
+			if n < 0 {
+				continue
+			}
+			gradNodes[n*dim+c] += gradPooled[s*dim+c]
+		}
+	}
+	return gradNodes
+}

@@ -40,6 +40,13 @@ type Config struct {
 	UseLayerNorm bool
 	// Seed seeds weight initialisation.
 	Seed int64
+	// TrainWorkers is the number of data-parallel gradient workers TrainBatch
+	// shards each minibatch over (<=1 trains serially). The shard partition
+	// and gradient-reduction order are fixed by the batch size alone, so
+	// trained weights are bit-identical for every worker count — workers only
+	// reduce wall-clock time. Shards hold 8 samples each, so useful
+	// parallelism is bounded by ceil(batchSize/8) workers.
+	TrainWorkers int
 }
 
 // DefaultConfig returns a configuration small enough to train in seconds but
@@ -87,6 +94,10 @@ type Network struct {
 	head *nn.MLP
 	opt  *nn.Adam
 
+	// train holds the reusable batched-training state (gradient shards and
+	// their scratch); nil until the first TrainBatch call.
+	train *trainer
+
 	// Target standardisation (log domain).
 	targetMean, targetStd float64
 }
@@ -95,7 +106,9 @@ type Network struct {
 // dimensions.
 func New(queryDim, planDim int, cfg Config) *Network {
 	if len(cfg.QueryLayers) == 0 {
+		workers := cfg.TrainWorkers
 		cfg = DefaultConfig()
+		cfg.TrainWorkers = workers
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	qSizes := append([]int{queryDim}, cfg.QueryLayers...)
@@ -272,9 +285,12 @@ func (n *Network) PredictNormalized(queryVec []float64, trees []*treeconv.Tree) 
 	return out
 }
 
-// TrainBatch performs one gradient step on a batch of samples and returns
-// the mean L2 loss (in normalised space).
-func (n *Network) TrainBatch(samples []Sample) float64 {
+// TrainBatchPerSample performs one gradient step on a batch of samples with
+// a full per-example forward/backward tape, and returns the mean L2 loss (in
+// normalised space). It is the reference implementation the batched
+// TrainBatch (train.go) is parity-tested against; the training loop itself
+// uses TrainBatch.
+func (n *Network) TrainBatchPerSample(samples []Sample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
@@ -289,8 +305,8 @@ func (n *Network) TrainBatch(samples []Sample) float64 {
 	return total / float64(len(samples))
 }
 
-// Train runs epochs of minibatch training over the samples and returns the
-// final epoch's mean loss.
+// Train runs epochs of minibatch training over the samples using the
+// batched TrainBatch pipeline and returns the final epoch's mean loss.
 func (n *Network) Train(samples []Sample, epochs, batchSize int, rng *rand.Rand) float64 {
 	if len(samples) == 0 {
 		return 0

@@ -151,6 +151,13 @@ type Config struct {
 	// is drawn in scheduling order); pass a negative value to force serial
 	// execution.
 	Workers int
+	// TrainWorkers sizes the data-parallel gradient worker pool each
+	// retraining minibatch is sharded over (default GOMAXPROCS). Trained
+	// weights are bit-identical for every worker count — the shard partition
+	// and gradient-reduction order depend only on the minibatch size — so
+	// parallel training never changes results; pass a negative value to
+	// force serial training.
+	TrainWorkers int
 	// ValueNet overrides the value-network architecture (default: a small
 	// network structurally identical to the paper's).
 	ValueNet *ValueNetConfig
@@ -332,6 +339,7 @@ func Open(cfg Config) (*System, error) {
 	coreCfg.Cost = cfg.Cost
 	coreCfg.Seed = cfg.Seed
 	coreCfg.Workers = cfg.Workers
+	coreCfg.TrainWorkers = cfg.TrainWorkers
 	if cfg.ValueNet != nil {
 		coreCfg.ValueNet = *cfg.ValueNet
 	}
