@@ -31,6 +31,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
 		trainWorkers = flag.Int("train-workers", 0, "gradient worker-pool size for value-network training (0 = GOMAXPROCS, negative = serial; trained weights are bit-identical for every worker count)")
 		out          = flag.String("out", "", "write reports to this file as well as stdout")
+		load         = flag.String("load", "", "directory of embedding checkpoints to restore (written by -save; skips row-vector retraining for cached workloads)")
+		save         = flag.String("save", "", "directory to write the trained embedding checkpoints to after the run (reuse with -load under the same scale/seed/dim settings)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *load != "" {
+		n, err := env.LoadEmbeddings(*load)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "restored %d embedding checkpoint(s) from %s\n", n, *load)
+	}
 
 	if *exp == "all" {
 		reports, err := experiments.RunAll(env)
@@ -80,6 +89,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		saveEmbeddings(env, *save, w)
 		return
 	}
 	rep, err := experiments.Run(*exp, env)
@@ -87,6 +97,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(w, rep.String())
+	saveEmbeddings(env, *save, w)
+}
+
+// saveEmbeddings writes the trained embedding cache if -save was given.
+func saveEmbeddings(env *experiments.Env, dir string, w io.Writer) {
+	if dir == "" {
+		return
+	}
+	n, err := env.SaveEmbeddings(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(w, "saved %d embedding checkpoint(s) to %s\n", n, dir)
 }
 
 func fatal(err error) {

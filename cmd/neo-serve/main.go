@@ -1,0 +1,130 @@
+// Command neo-serve runs the learned optimizer as a long-lived
+// online-learning HTTP daemon: it serves plans from the value-network
+// snapshot and plan cache (POST /optimize), ingests observed latencies as
+// experience (POST /feedback) and retrains in the background every N
+// feedbacks, reports serving counters (GET /stats), and checkpoints the
+// learned state periodically and on SIGINT/SIGTERM so a warm restart serves
+// bit-identical plans.
+//
+// Usage:
+//
+//	neo-serve -addr :8080 -checkpoint neo.ckpt
+//	neo-serve -dataset corp -engine engine-m -retrain-every 32
+//
+// On startup the daemon restores -load (or, if that is unset, an existing
+// -checkpoint file); with neither present it bootstraps from the
+// PostgreSQL-profile expert over a generated workload.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neo/internal/serve"
+	"neo/pkg/neo"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		dataset      = flag.String("dataset", "imdb", "synthetic dataset: imdb, tpch or corp")
+		engineName   = flag.String("engine", "postgres", "simulated engine: postgres, sqlite, engine-m or engine-o")
+		encoding     = flag.String("encoding", "r-vector", "featurization: 1-hot, histogram, r-vector, r-vector-nojoins")
+		scale        = flag.Float64("scale", 0.4, "synthetic data scale factor")
+		seed         = flag.Int64("seed", 42, "random seed")
+		queries      = flag.Int("queries", 16, "bootstrap workload size (cold start only)")
+		expansions   = flag.Int("expansions", 256, "plan-search expansion budget")
+		workers      = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS)")
+		trainWorkers = flag.Int("train-workers", 0, "gradient worker-pool size (0 = GOMAXPROCS)")
+		load         = flag.String("load", "", "checkpoint file to restore on startup (overrides -checkpoint for loading)")
+		ckpt         = flag.String("checkpoint", "", "checkpoint file to write periodically and on shutdown (also restored on startup when present and -load is unset)")
+		ckptEvery    = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint interval (requires -checkpoint)")
+		retrainEvery = flag.Int("retrain-every", 16, "trigger a background retraining round every N feedbacks (0 disables)")
+		maxExp       = flag.Int("max-experience", 0, "experience-pool cap; oldest entries are dropped beyond it (0 = default 100000, negative = unbounded)")
+	)
+	flag.Parse()
+
+	sys, err := neo.Open(neo.Config{
+		Dataset:          *dataset,
+		Engine:           *engineName,
+		Encoding:         neo.Encoding(*encoding),
+		Scale:            *scale,
+		Seed:             *seed,
+		SearchExpansions: *expansions,
+		Workers:          *workers,
+		TrainWorkers:     *trainWorkers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("neo-serve: dataset=%s engine=%s encoding=%s rows=%d\n",
+		*dataset, *engineName, *encoding, sys.DB.TotalRows())
+
+	restore := *load
+	if restore == "" && *ckpt != "" {
+		if _, err := os.Stat(*ckpt); err == nil {
+			restore = *ckpt
+		}
+	}
+	if restore != "" {
+		if err := sys.LoadCheckpointFile(restore); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("neo-serve: warm start from %s (net version %d, %d experience entries)\n",
+			restore, sys.Neo.NetVersion(), sys.Neo.Experience.Len())
+	} else {
+		fmt.Printf("neo-serve: cold start, bootstrapping from the expert over %d queries ...\n", *queries)
+		wl, err := sys.GenerateWorkload(*queries)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.Bootstrap(wl.Queries); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := serve.New(sys, serve.Config{
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+		RetrainEvery:    *retrainEvery,
+		MaxExperience:   *maxExp,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("neo-serve: listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("neo-serve: %v, shutting down ...\n", sig)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "neo-serve: shutdown:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	if *ckpt != "" {
+		fmt.Printf("neo-serve: final checkpoint written to %s\n", *ckpt)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neo-serve:", err)
+	os.Exit(1)
+}

@@ -28,6 +28,8 @@ func main() {
 		seed         = flag.Int64("seed", 42, "random seed")
 		workers      = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
 		trainWorkers = flag.Int("train-workers", 0, "gradient worker-pool size for value-network training (0 = GOMAXPROCS, negative = serial; trained weights are bit-identical for every worker count)")
+		load         = flag.String("load", "", "checkpoint file to restore trained state from (skips bootstrapping; the system config must match the one the checkpoint was saved with)")
+		save         = flag.String("save", "", "checkpoint file to write the trained state to after refinement")
 	)
 	flag.Parse()
 
@@ -53,9 +55,18 @@ func main() {
 	train, test := wl.Split(0.8, *seed)
 	fmt.Printf("workload: %d training / %d test queries\n", len(train), len(test))
 
-	fmt.Println("bootstrapping from the PostgreSQL-profile expert ...")
-	if err := sys.Bootstrap(train); err != nil {
-		fatal(err)
+	if *load != "" {
+		fmt.Printf("restoring checkpoint %s ...\n", *load)
+		if err := sys.LoadCheckpointFile(*load); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("restored: net version %d, %d experience entries\n",
+			sys.Neo.NetVersion(), sys.Neo.Experience.Len())
+	} else {
+		fmt.Println("bootstrapping from the PostgreSQL-profile expert ...")
+		if err := sys.Bootstrap(train); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("refining for %d episodes ...\n", *episodes)
 	stats, err := sys.Train(train)
@@ -64,6 +75,12 @@ func main() {
 	}
 	for _, s := range stats {
 		fmt.Printf("  episode %2d: normalized latency %.3f (1.0 = expert bootstrap)\n", s.Episode, s.NormalizedLatency)
+	}
+	if *save != "" {
+		if err := sys.SaveCheckpointFile(*save); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *save)
 	}
 
 	fmt.Println("\nheld-out test queries (latencies in simulated ms):")

@@ -11,6 +11,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"neo/pkg/neo"
 )
@@ -72,4 +74,36 @@ func main() {
 		fmt.Printf("  %-12s neo=%8.2f native=%8.2f\n", q.ID, neoLat, nativeLat)
 	}
 	fmt.Printf("\nrelative performance (neo/native, lower is better): %.3f\n", neoTotal/nativeTotal)
+
+	// Persistence: checkpoint the trained optimizer, restore it into a
+	// freshly opened system, and confirm the restored system serves the
+	// same plan — continuous learning survives restarts.
+	ckpt := filepath.Join(os.TempDir(), "neo-quickstart.ckpt")
+	if err := sys.SaveCheckpointFile(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(ckpt)
+	fmt.Printf("\ncheckpoint written to %s\n", ckpt)
+
+	restored, err := neo.Open(sys.Config) // same config: same substrate
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := restored.LoadCheckpointFile(ckpt); err != nil {
+		log.Fatal(err)
+	}
+	q := test[0]
+	before, _, err := sys.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _, err := restored.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan for %s before restart: %s\n", q.ID, before)
+	fmt.Printf("plan for %s after restart:  %s\n", q.ID, after)
+	if before.String() == after.String() {
+		fmt.Println("warm restart serves the identical plan.")
+	}
 }

@@ -10,6 +10,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"sort"
 	"testing"
 
+	"neo/internal/checkpoint"
 	"neo/internal/treeconv"
 	"neo/internal/valuenet"
 	"neo/pkg/neo"
@@ -202,14 +204,24 @@ func Episode() Suite {
 // FileName returns the JSON file name a suite is stored under.
 func FileName(suite string) string { return "BENCH_" + suite + ".json" }
 
-// Write serialises the suite as <dir>/BENCH_<suite>.json.
+// Write serialises the suite as <dir>/BENCH_<suite>.json. The write is
+// atomic (temp file in the same directory, then rename), so an interrupted
+// run can never leave a truncated or half-written file where a committed CI
+// baseline is expected.
 func Write(dir string, s Suite) (string, error) {
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, FileName(s.Suite))
-	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+	err = checkpoint.AtomicWriteFile(path, 0o644, func(w io.Writer) error {
+		_, err := w.Write(append(data, '\n'))
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // Load reads a suite file written by Write.

@@ -1,0 +1,350 @@
+// Package checkpoint implements durable state for the learned optimizer: a
+// versioned, self-describing binary container that captures everything a
+// Neo instance needs to survive a restart — value-network weights and Adam
+// optimizer state, the fitted target transform, the learned row-vector
+// embedding, the experience pool, per-query baselines, the serving-snapshot
+// version and the training RNG position.
+//
+// # Format
+//
+// A checkpoint is a header followed by named sections:
+//
+//	magic          8 bytes  "NEOCKPT1"
+//	format version u32      (currently 1)
+//	section count  u32
+//	section table:          name (u16 len + bytes), payload length u64,
+//	                        CRC-32 (IEEE) of the payload
+//	payloads, concatenated in table order
+//
+// Readers locate sections by name, so future format versions can append new
+// sections without breaking older payload codecs; unknown sections are
+// skipped. Every payload is integrity-checked against its CRC before it is
+// parsed, so corruption fails with ErrCorrupt instead of a garbage network.
+// Section payloads use the little-endian primitives of package wire; the
+// network/embedding payloads are produced by the Save methods of the
+// respective layers (valuenet.Network.Save streams nn and treeconv state
+// through each layer's parameter accessors).
+//
+// What a checkpoint deliberately does NOT capture: the synthetic database
+// and statistics (regenerated deterministically from the system seed), plan
+// caches (rebuilt on demand; plans are re-searched bit-identically from the
+// restored weights), and the engine's execution-noise stream position (only
+// simulated-latency noise depends on it, never plan choice).
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"neo/internal/core"
+	"neo/internal/embedding"
+	"neo/internal/valuenet"
+	"neo/internal/wire"
+)
+
+// Magic identifies a Neo checkpoint file.
+const Magic = "NEOCKPT1"
+
+// FormatVersion is the current container format version.
+const FormatVersion = 1
+
+// Sentinel errors. Load failures wrap one of these, so callers can
+// distinguish "not a checkpoint" from "damaged checkpoint" from "checkpoint
+// from an incompatible build/configuration".
+var (
+	// ErrBadMagic means the stream does not start with the checkpoint magic.
+	ErrBadMagic = errors.New("checkpoint: bad magic (not a checkpoint file)")
+	// ErrUnsupportedVersion means the checkpoint was written by a newer
+	// format than this build understands.
+	ErrUnsupportedVersion = errors.New("checkpoint: unsupported format version")
+	// ErrTruncated means the stream ended before the declared contents.
+	ErrTruncated = errors.New("checkpoint: truncated")
+	// ErrCorrupt means a section payload failed its CRC check.
+	ErrCorrupt = errors.New("checkpoint: corrupt section payload")
+	// ErrMissingSection means a required section is absent.
+	ErrMissingSection = errors.New("checkpoint: missing section")
+	// ErrMismatch means the checkpoint does not fit the receiving system
+	// (different architecture, dimensions or encoding).
+	ErrMismatch = errors.New("checkpoint: state does not match receiving system")
+)
+
+// maxRNGDraws bounds the training-RNG draw count a checkpoint may declare:
+// restoring replays the stream one draw at a time, so a crafted (CRC-valid)
+// count must fail loudly instead of hanging the loader. 2^34 draws replay in
+// well under a minute and exceed any realistic training history by orders of
+// magnitude (a retraining round draws tens of thousands).
+const maxRNGDraws = 1 << 34
+
+// Section names.
+const (
+	sectionMeta       = "meta"
+	sectionNet        = "net"
+	sectionEmbedding  = "embedding"
+	sectionExperience = "experience"
+)
+
+// State is everything a checkpoint carries. Save reads from it; Load fills
+// it in (loading the network weights into the caller-supplied Network).
+type State struct {
+	// Encoding is the featurization the system was configured with; Load
+	// callers verify it against their own configuration.
+	Encoding string
+	// NetVersion is the serving-snapshot version at save time.
+	NetVersion uint64
+	// RNGSeed and RNGDraws describe the training RNG's exact stream
+	// position (core.Neo.RNGState).
+	RNGSeed  int64
+	RNGDraws uint64
+	// TrainTime is the cumulative wall-clock training time.
+	TrainTime time.Duration
+	// Net is the value network (source on Save, target on Load).
+	Net *valuenet.Network
+	// Embedding is the row-vector model, nil for encodings without one.
+	Embedding *embedding.Model
+	// Experience is the executed-plan pool.
+	Experience []core.Entry
+	// Baselines are the per-query baseline latencies.
+	Baselines map[string]float64
+}
+
+// Save writes a checkpoint for the given state.
+func Save(w io.Writer, st *State) error {
+	var meta bytes.Buffer
+	if err := wire.WriteString(&meta, st.Encoding); err != nil {
+		return err
+	}
+	if err := wire.WriteU64(&meta, st.NetVersion); err != nil {
+		return err
+	}
+	if err := wire.WriteI64(&meta, st.RNGSeed); err != nil {
+		return err
+	}
+	if err := wire.WriteU64(&meta, st.RNGDraws); err != nil {
+		return err
+	}
+	if err := wire.WriteI64(&meta, int64(st.TrainTime)); err != nil {
+		return err
+	}
+
+	var net bytes.Buffer
+	if err := st.Net.Save(&net); err != nil {
+		return err
+	}
+
+	sections := []section{
+		{name: sectionMeta, payload: meta.Bytes()},
+		{name: sectionNet, payload: net.Bytes()},
+	}
+	if st.Embedding != nil {
+		var emb bytes.Buffer
+		if err := st.Embedding.Save(&emb); err != nil {
+			return err
+		}
+		sections = append(sections, section{name: sectionEmbedding, payload: emb.Bytes()})
+	}
+	var exp bytes.Buffer
+	if err := writeExperience(&exp, st.Experience, st.Baselines); err != nil {
+		return err
+	}
+	sections = append(sections, section{name: sectionExperience, payload: exp.Bytes()})
+	return writeContainer(w, sections)
+}
+
+// Load reads a checkpoint, restoring the network weights and optimizer state
+// into `into` (which must match the saved architecture) and returning the
+// remaining state. A non-empty wantEncoding is checked against the saved
+// encoding BEFORE anything mutates `into`, so a checkpoint from a
+// differently configured system (whose network may nevertheless share
+// dimensions, e.g. 1-hot vs histogram) is rejected side-effect free. On any
+// other error the returned state is nil and `into` may be partially updated
+// — treat it as unusable.
+func Load(r io.Reader, into *valuenet.Network, wantEncoding string) (*State, error) {
+	secs, err := readContainer(r)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{Net: into}
+
+	meta, ok := secs[sectionMeta]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrMissingSection, sectionMeta)
+	}
+	mr := bytes.NewReader(meta)
+	if st.Encoding, err = wire.ReadString(mr); err != nil {
+		return nil, fmt.Errorf("checkpoint: meta: %w", err)
+	}
+	if st.NetVersion, err = wire.ReadU64(mr); err != nil {
+		return nil, fmt.Errorf("checkpoint: meta: %w", err)
+	}
+	if st.RNGSeed, err = wire.ReadI64(mr); err != nil {
+		return nil, fmt.Errorf("checkpoint: meta: %w", err)
+	}
+	if st.RNGDraws, err = wire.ReadU64(mr); err != nil {
+		return nil, fmt.Errorf("checkpoint: meta: %w", err)
+	}
+	tt, err := wire.ReadI64(mr)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: meta: %w", err)
+	}
+	st.TrainTime = time.Duration(tt)
+	if st.RNGDraws > maxRNGDraws {
+		return nil, fmt.Errorf("%w: implausible RNG draw count %d (limit %d)",
+			ErrCorrupt, st.RNGDraws, uint64(maxRNGDraws))
+	}
+	if wantEncoding != "" && st.Encoding != wantEncoding {
+		return nil, fmt.Errorf("%w: checkpoint encoding %q, want %q",
+			ErrMismatch, st.Encoding, wantEncoding)
+	}
+
+	net, ok := secs[sectionNet]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrMissingSection, sectionNet)
+	}
+	if err := into.Load(bytes.NewReader(net)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMismatch, err)
+	}
+
+	if emb, ok := secs[sectionEmbedding]; ok {
+		m, err := embedding.LoadModel(bytes.NewReader(emb))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: embedding: %w", err)
+		}
+		st.Embedding = m
+	}
+
+	exp, ok := secs[sectionExperience]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrMissingSection, sectionExperience)
+	}
+	if st.Experience, st.Baselines, err = readExperience(bytes.NewReader(exp)); err != nil {
+		return nil, fmt.Errorf("checkpoint: experience: %w", err)
+	}
+	return st, nil
+}
+
+type section struct {
+	name    string
+	payload []byte
+}
+
+func writeContainer(w io.Writer, sections []section) error {
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
+	}
+	if err := wire.WriteU32(w, FormatVersion); err != nil {
+		return err
+	}
+	if err := wire.WriteU32(w, uint32(len(sections))); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		if len(s.name) > 0xffff {
+			return fmt.Errorf("checkpoint: section name %q too long", s.name)
+		}
+		if err := wire.WriteU8(w, uint8(len(s.name)>>8)); err != nil {
+			return err
+		}
+		if err := wire.WriteU8(w, uint8(len(s.name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, s.name); err != nil {
+			return err
+		}
+		if err := wire.WriteU64(w, uint64(len(s.payload))); err != nil {
+			return err
+		}
+		if err := wire.WriteU32(w, crc32.ChecksumIEEE(s.payload)); err != nil {
+			return err
+		}
+	}
+	for _, s := range sections {
+		if _, err := w.Write(s.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readContainer parses the header and returns the CRC-verified payloads by
+// section name.
+func readContainer(r io.Reader) (map[string][]byte, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, truncated(err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	version, err := wire.ReadU32(r)
+	if err != nil {
+		return nil, truncated(err)
+	}
+	if version > FormatVersion {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads <= %d",
+			ErrUnsupportedVersion, version, FormatVersion)
+	}
+	count, err := wire.ReadU32(r)
+	if err != nil {
+		return nil, truncated(err)
+	}
+	if count > 1024 {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, count)
+	}
+	type header struct {
+		name string
+		size uint64
+		crc  uint32
+	}
+	headers := make([]header, count)
+	for i := range headers {
+		hi, err := wire.ReadU8(r)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		lo, err := wire.ReadU8(r)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		nameLen := int(hi)<<8 | int(lo)
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, truncated(err)
+		}
+		size, err := wire.ReadU64(r)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		if size > wire.MaxLen {
+			return nil, fmt.Errorf("%w: section %q declares %d bytes", ErrCorrupt, name, size)
+		}
+		crc, err := wire.ReadU32(r)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		headers[i] = header{name: string(name), size: size, crc: crc}
+	}
+	out := make(map[string][]byte, count)
+	for _, h := range headers {
+		payload := make([]byte, h.size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, truncated(err)
+		}
+		if crc32.ChecksumIEEE(payload) != h.crc {
+			return nil, fmt.Errorf("%w: section %q fails CRC", ErrCorrupt, h.name)
+		}
+		out[h.name] = payload
+	}
+	return out, nil
+}
+
+// truncated maps short reads onto the ErrTruncated sentinel.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}

@@ -44,6 +44,48 @@ func (e *Experience) Add(q *query.Query, p *plan.Plan, latency float64) {
 	}
 }
 
+// Restore replaces the store's contents with the given entries (in order),
+// rebuilding the per-query index and best-latency tracking. Used when
+// loading a checkpoint.
+func (e *Experience) Restore(entries []Entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.entries = append([]Entry(nil), entries...)
+	e.rebuildLocked()
+}
+
+// rebuildLocked recomputes the per-query index and best-latency tracking
+// from e.entries. Callers must hold e.mu.
+func (e *Experience) rebuildLocked() {
+	e.byQuery = make(map[string][]int)
+	e.best = make(map[string]float64)
+	for i, entry := range e.entries {
+		id := entry.Query.ID
+		e.byQuery[id] = append(e.byQuery[id], i)
+		if best, ok := e.best[id]; !ok || entry.Latency < best {
+			e.best[id] = entry.Latency
+		}
+	}
+}
+
+// Trim drops the oldest entries until at most keep remain, rebuilding the
+// per-query index and best-latency tracking from the survivors. Long-running
+// servers use it to bound the experience pool (and with it checkpoint size):
+// recent entries reflect the current network's behaviour and matter most for
+// the next retraining round.
+func (e *Experience) Trim(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.entries) <= keep {
+		return
+	}
+	e.entries = append([]Entry(nil), e.entries[len(e.entries)-keep:]...)
+	e.rebuildLocked()
+}
+
 // Len returns the number of stored entries.
 func (e *Experience) Len() int {
 	e.mu.RLock()

@@ -116,9 +116,13 @@ type Neo struct {
 
 	// rngMu guards rng, which drives episode shuffling and minibatch
 	// shuffling. One shared stream, drawn in a fixed order, keeps training
-	// reproducible for a fixed seed.
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// reproducible for a fixed seed. The stream is fed by rngSrc, a counting
+	// source: (seed, draw count) fully describe its state, which is what
+	// checkpoints capture and RestoreRNG replays.
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	rngSrc  *countingSource
+	rngSeed int64
 
 	// mu guards the cheap mutable state shared between concurrent planners
 	// and the training loop: per-query baselines (RelativeCost and
@@ -153,6 +157,37 @@ type Neo struct {
 type netSnapshot struct {
 	net     *valuenet.Snapshot
 	version uint64
+}
+
+// countingSource wraps a math/rand source and counts how many values have
+// been drawn from it. Go's sources expose no state, but every draw — through
+// any rand.Rand method — advances the source by exactly one step, so (seed,
+// draws) identifies the state exactly: recreate the source from the seed and
+// discard the same number of draws to resume the stream.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *countingSource) Int63() int64 { s.draws++; return s.src.Int63() }
+
+// Uint64 implements rand.Source64.
+func (s *countingSource) Uint64() uint64 { s.draws++; return s.src.Uint64() }
+
+// Seed implements rand.Source.
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed); s.draws = 0 }
+
+// skip advances the source by n draws.
+func (s *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Uint64()
+	}
+	s.draws = n
 }
 
 // New creates a Neo instance bound to a target engine and featurizer.
@@ -195,13 +230,16 @@ func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
 	// normalized core setting is authoritative.
 	cfg.ValueNet.TrainWorkers = cfg.TrainWorkers
 	net := valuenet.New(feat.QueryVectorSize(), feat.PlanVectorSize(), cfg.ValueNet)
+	src := newCountingSource(cfg.Seed)
 	n := &Neo{
 		Engine:        eng,
 		Featurizer:    feat,
 		Net:           net,
 		Experience:    NewExperience(),
 		Config:        cfg,
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		rng:           rand.New(src),
+		rngSrc:        src,
+		rngSeed:       cfg.Seed,
 		baseline:      make(map[string]float64),
 		queryEncCache: make(map[string][]float64),
 	}
@@ -234,6 +272,88 @@ func (n *Neo) NetVersion() uint64 { return n.snap.Load().version }
 // version. Callers must hold trainMu (which serializes version increments).
 func (n *Neo) publishSnapshot() {
 	n.snap.Store(&netSnapshot{net: n.Net.Snapshot(), version: n.snap.Load().version + 1})
+}
+
+// RestoreSnapshot freezes the live network's current weights and publishes
+// them as the serving snapshot under an explicit version — used when loading
+// a checkpoint, so the restored system reports the same NetVersion the saved
+// one did and downstream plan caches key correctly.
+func (n *Neo) RestoreSnapshot(version uint64) {
+	n.trainMu.Lock()
+	defer n.trainMu.Unlock()
+	n.snap.Store(&netSnapshot{net: n.Net.Snapshot(), version: version})
+}
+
+// RNGState returns the seed and draw count that describe the training RNG's
+// exact position in its stream. Safe for concurrent use.
+func (n *Neo) RNGState() (seed int64, draws uint64) {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rngSeed, n.rngSrc.draws
+}
+
+// RestoreRNG recreates the training RNG from a (seed, draws) pair captured
+// by RNGState: the stream continues exactly where the saved run left off, so
+// resumed training shuffles minibatches identically to an uninterrupted run.
+func (n *Neo) RestoreRNG(seed int64, draws uint64) {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	src := newCountingSource(seed)
+	src.skip(draws)
+	n.rngSrc = src
+	n.rngSeed = seed
+	n.rng = rand.New(src)
+}
+
+// WithTrainingPaused runs fn while holding the training lock, so no
+// retraining round can mutate the network's weights or optimizer state while
+// fn reads them (checkpointing uses this). Planning and feedback ingestion
+// keep running; calls that draw from the training RNG outside a retraining
+// round (RunEpisode's episode shuffle) must not overlap fn.
+func (n *Neo) WithTrainingPaused(fn func()) {
+	n.trainMu.Lock()
+	defer n.trainMu.Unlock()
+	fn()
+}
+
+// Baselines returns a copy of the per-query baseline latencies. Safe for
+// concurrent use.
+func (n *Neo) Baselines() map[string]float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]float64, len(n.baseline))
+	for id, v := range n.baseline {
+		out[id] = v
+	}
+	return out
+}
+
+// RestoreBaselines replaces the per-query baselines with a set captured by
+// Baselines.
+func (n *Neo) RestoreBaselines(baselines map[string]float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.baseline = make(map[string]float64, len(baselines))
+	for id, v := range baselines {
+		n.baseline[id] = v
+	}
+}
+
+// RestoreTrainingTime replaces the cumulative training-time counter (part of
+// a checkpoint, so the Figure 11 accounting survives restarts).
+func (n *Neo) RestoreTrainingTime(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trainTime = d
+}
+
+// ResetEncodingCache drops every cached query encoding. Call it after
+// swapping the featurizer's inputs (e.g. restoring a checkpointed embedding
+// model) so stale encodings cannot leak into new searches.
+func (n *Neo) ResetEncodingCache() {
+	n.encMu.Lock()
+	defer n.encMu.Unlock()
+	n.queryEncCache = make(map[string][]float64)
 }
 
 // SetBaseline records the per-query baseline latencies used by the

@@ -1,0 +1,24 @@
+// Tree-convolution state serialization: Save/Load stream the filterbank
+// weights through the layers' Params() accessor using the shared nn codec,
+// so a Stack round-trips bit-identically and architecture mismatches fail
+// loudly on load.
+package treeconv
+
+import (
+	"io"
+
+	"neo/internal/nn"
+)
+
+// Save writes the layer's filter weights (EP, EL, ER, bias).
+func (l *Layer) Save(w io.Writer) error { return nn.SaveParams(w, l.Params()) }
+
+// Load restores weights written by Save, in place.
+func (l *Layer) Load(r io.Reader) error { return nn.LoadParams(r, l.Params()) }
+
+// Save writes every layer of the stack.
+func (s *Stack) Save(w io.Writer) error { return nn.SaveParams(w, s.Params()) }
+
+// Load restores state written by Save, in place. The receiver must have the
+// same channel sizes as the saved stack.
+func (s *Stack) Load(r io.Reader) error { return nn.LoadParams(r, s.Params()) }

@@ -206,15 +206,17 @@ type System struct {
 	cache planCache
 }
 
-// PlanCacheStats reports the plan cache's effectiveness.
+// PlanCacheStats reports the plan cache's effectiveness. The JSON tags serve
+// neo-serve's /stats endpoint.
 type PlanCacheStats struct {
 	// Hits and Misses count Optimize/PlanAll lookups against the cache.
-	Hits, Misses uint64
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Size is the number of plans currently cached.
-	Size int
+	Size int `json:"size"`
 	// Version is the value-network version the cached plans were searched
 	// with (see Optimizer.NetVersion).
-	Version uint64
+	Version uint64 `json:"version"`
 }
 
 // planCache memoises plan searches keyed on the query's structural
@@ -285,6 +287,17 @@ func (c *planCache) store(sig string, version uint64, e cachedPlan) {
 		}
 	}
 	c.entries[sig] = e
+}
+
+// reset drops every entry and re-keys the cache to the current network
+// version on the next lookup (used when a checkpoint replaces the network
+// wholesale: restored weights may predate the entries, so version ordering
+// alone cannot be trusted to invalidate them).
+func (c *planCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version = 0
+	c.entries = nil
 }
 
 func (c *planCache) stats() PlanCacheStats {
