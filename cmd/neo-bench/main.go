@@ -100,6 +100,7 @@ func ratioChecks(s bench.Suite, floor float64) []string {
 	pairs := map[string][][2]string{
 		"score": {{"scoring/sequential", "scoring/batched"}},
 		"train": {{"training/per-sample", "training/batched"}},
+		"serve": {{"serving/private", "serving/fused"}},
 	}[s.Suite]
 	var problems []string
 	for _, p := range pairs {

@@ -47,6 +47,9 @@ func main() {
 		ckptEvery    = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic checkpoint interval (requires -checkpoint)")
 		retrainEvery = flag.Int("retrain-every", 16, "trigger a background retraining round every N feedbacks (0 disables)")
 		maxExp       = flag.Int("max-experience", 0, "experience-pool cap; oldest entries are dropped beyond it (0 = default 100000, negative = unbounded)")
+		fuse         = flag.Bool("fuse-scoring", true, "fuse concurrent requests' value-network scoring into shared forward passes (bit-identical plans; see /stats fusion counters)")
+		maxFused     = flag.Int("max-fused-batch", 0, "row cap of one fused forward pass (0 = default 64)")
+		fuseLinger   = flag.Duration("fuse-linger", 0, "longest a scoring submission waits to be fused (0 = default 200µs)")
 	)
 	flag.Parse()
 
@@ -59,6 +62,9 @@ func main() {
 		SearchExpansions: *expansions,
 		Workers:          *workers,
 		TrainWorkers:     *trainWorkers,
+		FuseScoring:      *fuse,
+		MaxFusedBatch:    *maxFused,
+		FuseLinger:       *fuseLinger,
 	})
 	if err != nil {
 		fatal(err)

@@ -30,18 +30,24 @@ func main() {
 		trainWorkers = flag.Int("train-workers", 0, "gradient worker-pool size for value-network training (0 = GOMAXPROCS, negative = serial; trained weights are bit-identical for every worker count)")
 		load         = flag.String("load", "", "checkpoint file to restore trained state from (skips bootstrapping; the system config must match the one the checkpoint was saved with)")
 		save         = flag.String("save", "", "checkpoint file to write the trained state to after refinement")
+		fuse         = flag.Bool("fuse-scoring", false, "fuse concurrent plan searches' value-network scoring into shared forward passes (plans and trained weights are bit-identical either way)")
+		maxFused     = flag.Int("max-fused-batch", 0, "row cap of one fused forward pass (0 = default 64)")
+		fuseLinger   = flag.Duration("fuse-linger", 0, "longest a scoring submission waits to be fused (0 = default 200µs)")
 	)
 	flag.Parse()
 
 	sys, err := neo.Open(neo.Config{
-		Dataset:      *dataset,
-		Engine:       *engineName,
-		Encoding:     neo.Encoding(*encoding),
-		Scale:        *scale,
-		Seed:         *seed,
-		Episodes:     *episodes,
-		Workers:      *workers,
-		TrainWorkers: *trainWorkers,
+		Dataset:       *dataset,
+		Engine:        *engineName,
+		Encoding:      neo.Encoding(*encoding),
+		Scale:         *scale,
+		Seed:          *seed,
+		Episodes:      *episodes,
+		Workers:       *workers,
+		TrainWorkers:  *trainWorkers,
+		FuseScoring:   *fuse,
+		MaxFusedBatch: *maxFused,
+		FuseLinger:    *fuseLinger,
 	})
 	if err != nil {
 		fatal(err)

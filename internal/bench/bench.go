@@ -16,9 +16,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
 
 	"neo/internal/checkpoint"
+	"neo/internal/plan"
+	"neo/internal/sched"
+	"neo/internal/search"
 	"neo/internal/treeconv"
 	"neo/internal/valuenet"
 	"neo/pkg/neo"
@@ -39,7 +43,7 @@ type Suite struct {
 }
 
 // Names lists the available suites in run order.
-func Names() []string { return []string{"score", "train", "episode"} }
+func Names() []string { return []string{"score", "train", "episode", "serve"} }
 
 // Run executes one suite by name.
 func Run(name string) (Suite, error) {
@@ -50,6 +54,8 @@ func Run(name string) (Suite, error) {
 		return Training(), nil
 	case "episode":
 		return Episode(), nil
+	case "serve":
+		return Serving(), nil
 	default:
 		return Suite{}, fmt.Errorf("bench: unknown suite %q (have %v)", name, Names())
 	}
@@ -198,6 +204,178 @@ func Episode() Suite {
 				}
 			}
 		}),
+	}}
+}
+
+// servingWorkers is the concurrency of the fused-serving benchmark: 8
+// concurrent searches, the acceptance scenario of the scheduler.
+const servingWorkers = 8
+
+// servingHotQueries is how many distinct hot query structures the 8
+// concurrent requests stampede over. Query popularity is heavily skewed in
+// practice, so the post-swap stampede concentrates on the hottest handful of
+// structures; four concurrent requests per hot query is the regime a
+// retrain-every-N-feedbacks daemon re-enters constantly under load.
+const servingHotQueries = 2
+
+// scoreStream is the recorded scoring traffic of one real plan search: the
+// sequence of ScoreBatch submissions BestFirst issued, pre-encoded into the
+// (query, forest) rows the value network consumes. Replaying the streams of
+// several concurrent searches reproduces exactly the inference load a
+// serving daemon sees, with the row redundancy hot queries create.
+type scoreStream struct {
+	subs []scoreSub
+}
+
+type scoreSub struct {
+	queries [][]float64
+	forests [][]*treeconv.Tree
+}
+
+// streamRecorder captures every submission a search makes while passing it
+// through to the real scorer.
+type streamRecorder struct {
+	inner search.BatchScorer
+	subs  [][]*plan.Plan
+}
+
+func (r *streamRecorder) ScoreBatch(ps []*plan.Plan) []float64 {
+	r.subs = append(r.subs, append([]*plan.Plan(nil), ps...))
+	return r.inner.ScoreBatch(ps)
+}
+
+// servingFixture bootstraps a system and records the scoring traffic of one
+// full BestFirst search per hot query. Rows are pre-encoded once — encoding
+// is identical per-request work in both serving modes, so the benchmark pair
+// isolates the layer the scheduler changes: the forward passes. Each stream
+// shares one query-encoding slice per distinct query, exactly like core's
+// per-query encoding cache does for concurrent requests.
+func servingFixture() (*valuenet.Snapshot, []scoreStream) {
+	sys, err := neo.Open(neo.Config{
+		Dataset:          "imdb",
+		Engine:           "postgres",
+		Encoding:         neo.Histogram,
+		Scale:            0.25,
+		Seed:             17,
+		SearchExpansions: 64,
+		Episodes:         1,
+		ValueNet: &neo.ValueNetConfig{
+			QueryLayers:  []int{32, 16},
+			TreeChannels: []int{16, 16, 8},
+			HeadLayers:   []int{16},
+			LearningRate: 2e-3,
+			UseLayerNorm: true,
+			Seed:         3,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: serving fixture: %v", err))
+	}
+	wl, err := sys.GenerateWorkload(16)
+	if err != nil {
+		panic(fmt.Sprintf("bench: serving workload: %v", err))
+	}
+	if err := sys.Bootstrap(wl.Queries[:8]); err != nil {
+		panic(fmt.Sprintf("bench: serving bootstrap: %v", err))
+	}
+
+	streams := make([]scoreStream, servingHotQueries)
+	for i := 0; i < servingHotQueries; i++ {
+		q := wl.Queries[i]
+		rec := &streamRecorder{inner: sys.Neo.Scorer(q)}
+		if _, err := search.BestFirst(q, rec, search.Options{
+			Catalog:       sys.Catalog,
+			MaxExpansions: sys.Config.SearchExpansions,
+		}); err != nil {
+			panic(fmt.Sprintf("bench: recording search for %s: %v", q.ID, err))
+		}
+		qEnc := sys.Featurizer.EncodeQuery(q)
+		for _, ps := range rec.subs {
+			sub := scoreSub{
+				queries: make([][]float64, len(ps)),
+				forests: make([][]*treeconv.Tree, len(ps)),
+			}
+			for j, p := range ps {
+				sub.queries[j] = qEnc
+				sub.forests[j] = sys.Neo.EncodePlanTrees(p)
+			}
+			streams[i].subs = append(streams[i].subs, sub)
+		}
+	}
+	return sys.Neo.Snapshot(), streams
+}
+
+// replayServing drives the 8 concurrent search streams through a predictor —
+// the raw snapshot (private per-request scoring: every request pays its own
+// forward passes) or a shared Scheduler (fused serving). Two workers replay
+// each hot query's stream, modelling the cache-cold stampede right after a
+// retraining swap empties the plan cache, when concurrent requests for the
+// same hot query cannot be answered by memoised plans and race through
+// identical searches.
+func replayServing(predict sched.Backend, streams []scoreStream) {
+	var wg sync.WaitGroup
+	for g := 0; g < servingWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, sub := range streams[g%len(streams)].subs {
+				predict.PredictBatch(sub.queries, sub.forests)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// ServingBenchmarks builds the fused-serving benchmark pair over a shared
+// fixture: the scoring traffic of 8 concurrent searches stampeding over hot
+// queries, served by private per-request scoring versus through the shared
+// micro-batching scheduler (fusing co-resident submissions into shared
+// passes and deduplicating identical rows over the same immutable weights).
+// A fresh scheduler per op keeps its memoisation cache as cold as a
+// just-swapped snapshot's. Scores are verified bit-identical before
+// measuring; plan-level equality is locked down by the core and serve test
+// suites.
+func ServingBenchmarks() (private, fused func(b *testing.B)) {
+	snap, streams := servingFixture()
+
+	// Safety check: the gate compares throughput of the two paths, so first
+	// prove they produce the same bits for one full stream.
+	s := sched.New(snap, sched.Options{})
+	for _, sub := range streams[0].subs {
+		coalesced := s.PredictBatch(sub.queries, sub.forests)
+		direct := snap.PredictBatch(sub.queries, sub.forests)
+		for i := range direct {
+			if coalesced[i] != direct[i] {
+				panic(fmt.Sprintf("bench: fused score %v != private score %v", coalesced[i], direct[i]))
+			}
+		}
+	}
+	s.Close()
+
+	private = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			replayServing(snap, streams)
+		}
+	}
+	fused = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := sched.New(snap, sched.Options{})
+			replayServing(s, streams)
+			s.Close()
+		}
+	}
+	return private, fused
+}
+
+// Serving measures the ServingBenchmarks pair (the BenchmarkFusedServing
+// suite of the regression gate).
+func Serving() Suite {
+	private, fused := ServingBenchmarks()
+	return Suite{Suite: "serve", Benchmarks: []Result{
+		measure("serving/private", private),
+		measure("serving/fused", fused),
 	}}
 }
 

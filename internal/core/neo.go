@@ -13,6 +13,7 @@ import (
 	"neo/internal/feature"
 	"neo/internal/plan"
 	"neo/internal/query"
+	"neo/internal/sched"
 	"neo/internal/search"
 	"neo/internal/treeconv"
 	"neo/internal/valuenet"
@@ -69,6 +70,27 @@ type Config struct {
 	// experiment needs reproducibility. Zero selects GOMAXPROCS; a negative
 	// value forces serial execution.
 	Workers int
+	// FuseScoring routes every search's batched-scoring submissions through
+	// a shared micro-batching scheduler (internal/sched): submissions from
+	// concurrent searches that arrive within FuseLinger of each other are
+	// fused into one shared value-network forward pass of up to MaxFusedBatch
+	// rows, so serving N concurrent searches approaches the cost of one
+	// large-batch scorer instead of N small ones. Fused scores are
+	// bit-identical to private scoring (the batch kernels compute each row
+	// independently in a fixed order), so every search — and everything
+	// trained from its plans — is unaffected by fusion. The scheduler is
+	// pinned to the serving snapshot and is drained and recreated on every
+	// snapshot swap, so one fused pass can never mix scores from two weight
+	// sets. A search running alone skips the linger entirely; the fusion tax
+	// on an idle server is zero.
+	FuseScoring bool
+	// MaxFusedBatch caps the rows of one fused forward pass (zero selects
+	// sched.DefaultMaxBatch). Only meaningful with FuseScoring.
+	MaxFusedBatch int
+	// FuseLinger bounds how long a scoring submission waits to be fused with
+	// others before its batch runs anyway (zero selects sched.DefaultLinger,
+	// 200µs). Only meaningful with FuseScoring.
+	FuseLinger time.Duration
 	// TrainWorkers is the number of data-parallel gradient workers each
 	// retraining minibatch is sharded over (valuenet.Config.TrainWorkers).
 	// Trained weights are bit-identical for every worker count — the shard
@@ -147,16 +169,25 @@ type Neo struct {
 	// tagged with its version. It is swapped atomically at the end of each
 	// retraining round, so in-flight searches finish against the weights
 	// they started with while new searches pick up the freshly trained
-	// network (double buffering). Version and weights travel in one pointer
-	// so a reader can never observe new weights under an old version or
-	// vice versa.
+	// network (double buffering). Version, weights and the fused-scoring
+	// scheduler travel in one pointer so a reader can never observe new
+	// weights under an old version — or an old scheduler fusing against new
+	// weights — or vice versa.
 	snap atomic.Pointer[netSnapshot]
+
+	// fuse aggregates fusion statistics across every scheduler this Neo
+	// creates over its lifetime (schedulers are recreated on each snapshot
+	// swap), so /stats counters are monotonic. Nil when FuseScoring is off.
+	fuse *sched.Counters
 }
 
-// netSnapshot pairs a frozen network with the version it was published as.
+// netSnapshot pairs a frozen network with the version it was published as
+// and, when fused scoring is enabled, the micro-batching scheduler pinned to
+// exactly these weights.
 type netSnapshot struct {
 	net     *valuenet.Snapshot
 	version uint64
+	sched   *sched.Scheduler
 }
 
 // countingSource wraps a math/rand source and counts how many values have
@@ -243,8 +274,38 @@ func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
 		baseline:      make(map[string]float64),
 		queryEncCache: make(map[string][]float64),
 	}
-	n.snap.Store(&netSnapshot{net: net.Snapshot()})
+	if cfg.FuseScoring {
+		n.fuse = &sched.Counters{}
+	}
+	n.snap.Store(n.newNetSnapshot(net.Snapshot(), 0))
 	return n
+}
+
+// newNetSnapshot wraps a frozen network for publication, attaching a fresh
+// micro-batching scheduler pinned to it when fused scoring is enabled. All
+// schedulers share one Counters so fusion statistics survive swaps.
+func (n *Neo) newNetSnapshot(snap *valuenet.Snapshot, version uint64) *netSnapshot {
+	ns := &netSnapshot{net: snap, version: version}
+	if n.fuse != nil {
+		ns.sched = sched.New(snap, sched.Options{
+			MaxBatch: n.Config.MaxFusedBatch,
+			Linger:   n.Config.FuseLinger,
+			Counters: n.fuse,
+		})
+	}
+	return ns
+}
+
+// swapSnapshot atomically publishes a new netSnapshot and drains the
+// superseded one's scheduler: its pending fused batch runs against the old
+// weights and later submissions from searches still pinned to it score
+// directly (unfused) — so one fused pass never mixes scores from two weight
+// sets, and no search ever blocks on a retraining round.
+func (n *Neo) swapSnapshot(ns *netSnapshot) {
+	old := n.snap.Swap(ns)
+	if old != nil && old.sched != nil {
+		old.sched.Close()
+	}
 }
 
 // TrainingTime returns the cumulative wall-clock time spent training the
@@ -271,7 +332,7 @@ func (n *Neo) NetVersion() uint64 { return n.snap.Load().version }
 // the serving snapshot, in one atomic store together with the bumped
 // version. Callers must hold trainMu (which serializes version increments).
 func (n *Neo) publishSnapshot() {
-	n.snap.Store(&netSnapshot{net: n.Net.Snapshot(), version: n.snap.Load().version + 1})
+	n.swapSnapshot(n.newNetSnapshot(n.Net.Snapshot(), n.snap.Load().version+1))
 }
 
 // RestoreSnapshot freezes the live network's current weights and publishes
@@ -281,7 +342,7 @@ func (n *Neo) publishSnapshot() {
 func (n *Neo) RestoreSnapshot(version uint64) {
 	n.trainMu.Lock()
 	defer n.trainMu.Unlock()
-	n.snap.Store(&netSnapshot{net: n.Net.Snapshot(), version: version})
+	n.swapSnapshot(n.newNetSnapshot(n.Net.Snapshot(), version))
 }
 
 // RNGState returns the seed and draw count that describe the training RNG's
@@ -611,17 +672,29 @@ func (n *Neo) RetrainAsync() <-chan float64 {
 	return done
 }
 
+// scoreBackend is the predictor a netScorer scores through: the raw frozen
+// snapshot, or the shared micro-batching scheduler that fuses submissions
+// across concurrent searches (both produce bit-identical scores per row).
+type scoreBackend interface {
+	PredictBatch(queries [][]float64, forests [][]*treeconv.Tree) []float64
+}
+
 // netScorer scores plans for one query with a frozen value-network
 // snapshot. ScoreBatch — the search hot path — encodes every plan of the
 // batch and runs one shared batched forward pass; all plans share the
 // query's cached encoding, so the network's query tower runs once per
-// batch.
+// batch. With fused scoring the backend is the snapshot's scheduler, and the
+// forward pass is additionally shared with whatever other searches submitted
+// within the linger window.
 type netScorer struct {
-	net  *valuenet.Snapshot
-	feat *feature.Featurizer
-	qEnc []float64
+	backend scoreBackend
+	feat    *feature.Featurizer
+	qEnc    []float64
 
-	// queries/forests are reused across ScoreBatch calls.
+	// queries/forests are reused across ScoreBatch calls. Reuse is safe
+	// under fused scheduling too: PredictBatch blocks until the fused pass
+	// has scattered this submission's results, so the slices are never still
+	// referenced when the next ScoreBatch overwrites them.
 	queries [][]float64
 	forests [][]*treeconv.Tree
 }
@@ -634,7 +707,7 @@ func (s *netScorer) ScoreBatch(ps []*plan.Plan) []float64 {
 		s.queries = append(s.queries, s.qEnc)
 		s.forests = append(s.forests, s.feat.EncodePlan(p))
 	}
-	return s.net.PredictBatch(s.queries, s.forests)
+	return s.backend.PredictBatch(s.queries, s.forests)
 }
 
 // Score implements search.Scorer (a batch of one).
@@ -646,11 +719,32 @@ func (s *netScorer) Score(p *plan.Plan) float64 {
 // implements both search.BatchScorer (the primary contract) and
 // search.Scorer. The scorer is pinned to the network snapshot current at
 // creation time, so a search runs against one consistent set of weights
-// even if a background retraining round swaps the snapshot mid-search. Each
-// returned scorer carries its own scratch state, so concurrent searches use
-// separate Scorer instances (see pkg/neo's PlanAll).
+// even if a background retraining round swaps the snapshot mid-search; with
+// Config.FuseScoring it scores through that snapshot's shared scheduler, so
+// its forward passes fuse with other searches in flight (bit-identical
+// scores either way). Each returned scorer carries its own scratch state, so
+// concurrent searches use separate Scorer instances (see pkg/neo's PlanAll).
 func (n *Neo) Scorer(q *query.Query) search.BatchScorer {
-	return &netScorer{net: n.Snapshot(), feat: n.Featurizer, qEnc: n.encodeQuery(q)}
+	ns := n.snap.Load()
+	var backend scoreBackend = ns.net
+	if ns.sched != nil {
+		backend = ns.sched
+	}
+	return &netScorer{backend: backend, feat: n.Featurizer, qEnc: n.encodeQuery(q)}
+}
+
+// FusionStats reports the cross-request inference scheduler's cumulative
+// fusion statistics (Enabled reports whether Config.FuseScoring is on; all
+// counters are zero when it is not). Counters aggregate across snapshot
+// swaps, so they are monotonic over the process lifetime. Safe for
+// concurrent use.
+func (n *Neo) FusionStats() sched.Stats {
+	if n.fuse == nil {
+		return sched.Stats{}
+	}
+	st := n.fuse.Stats()
+	st.Enabled = true
+	return st
 }
 
 // Optimize searches for the best plan for q using the current value network.

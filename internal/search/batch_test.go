@@ -103,7 +103,7 @@ func TestGreedyDescendScoresCompleteStart(t *testing.T) {
 	if !complete.IsComplete() {
 		t.Fatal("best-first did not return a complete plan")
 	}
-	got, score, evals := greedyDescend(complete, ScorerFunc(structuralScorer), plan.ChildrenOptions{Catalog: cat})
+	got, score, evals, steps := greedyDescend(complete, ScorerFunc(structuralScorer), plan.ChildrenOptions{Catalog: cat})
 	if got != complete {
 		t.Fatalf("greedyDescend moved away from a complete plan")
 	}
@@ -112,6 +112,9 @@ func TestGreedyDescendScoresCompleteStart(t *testing.T) {
 	}
 	if evals != 1 {
 		t.Errorf("greedyDescend evals for complete start = %d, want 1", evals)
+	}
+	if steps != 0 {
+		t.Errorf("greedyDescend steps for complete start = %d, want 0", steps)
 	}
 }
 

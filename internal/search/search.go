@@ -97,7 +97,10 @@ type Result struct {
 	Plan *plan.Plan
 	// Score is the scorer's estimate for that plan.
 	Score float64
-	// Expansions is the number of frontier nodes expanded.
+	// Expansions is the number of plan states whose children were generated
+	// and scored: frontier nodes popped by the best-first loop, plus greedy
+	// descent steps taken when hurry-up mode (or Greedy) builds the plan —
+	// so search effort is reported faithfully even when the budget expires.
 	Expansions int
 	// Evaluations is the number of plans scored (summed over ScoreBatch
 	// calls).
@@ -168,6 +171,11 @@ func BestFirst(q *query.Query, scorer BatchScorer, opts Options) (*Result, error
 	}
 
 	var batch []*plan.Plan // reused across expansions
+	// The loop condition re-evaluates the deadline immediately after each
+	// batched scoring call (the last work of an iteration), so one large
+	// batch — or, under fused scheduling, a submission that also waited on
+	// the scheduler's linger — overshoots the anytime budget by at most that
+	// single call, never by another expansion.
 	for f.Len() > 0 && !budgetExceeded() {
 		item := heap.Pop(f).(*frontierItem)
 		res.Expansions++
@@ -210,10 +218,27 @@ func BestFirst(q *query.Query, scorer BatchScorer, opts Options) (*Result, error
 	}
 
 	if bestComplete == nil {
-		// Hurry-up mode: greedily descend from the last expanded node.
+		// Hurry-up mode: greedily descend from the most promising frontier
+		// node — the node the loop would have expanded next had the budget
+		// allowed — rather than only from the last node it happened to pop.
+		// Descending from the stale pop can silently discard a strictly
+		// cheaper frontier, but the frontier top alone is not reliably better
+		// (its optimistic score often favours shallow states), so both
+		// descents run and the better-scored complete plan wins. The
+		// descents' steps count as expansions so the budget's expiry does
+		// not erase the effort actually spent.
 		res.HurryUp = true
-		hp, score, evals := greedyDescend(lastExpanded, scorer, childOpts)
+		hp, score, evals, steps := greedyDescend(lastExpanded, scorer, childOpts)
 		res.Evaluations += evals
+		res.Expansions += steps
+		if f.Len() > 0 && (*f)[0].plan != lastExpanded {
+			fp, fscore, fevals, fsteps := greedyDescend((*f)[0].plan, scorer, childOpts)
+			res.Evaluations += fevals
+			res.Expansions += fsteps
+			if fp != nil && fp.IsComplete() && (hp == nil || !hp.IsComplete() || fscore < score) {
+				hp, score = fp, fscore
+			}
+		}
 		bestComplete = hp
 		bestScore = score
 	}
@@ -237,23 +262,26 @@ func Greedy(q *query.Query, scorer BatchScorer, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 	childOpts := plan.ChildrenOptions{Catalog: opts.Catalog, AllowCrossProducts: opts.AllowCrossProducts}
-	p, score, evals := greedyDescend(plan.Initial(q), scorer, childOpts)
+	p, score, evals, steps := greedyDescend(plan.Initial(q), scorer, childOpts)
 	if p == nil || !p.IsComplete() {
 		return nil, fmt.Errorf("search: greedy descent failed for query %s", q.ID)
 	}
-	return &Result{Plan: p, Score: score, Evaluations: evals, HurryUp: true, Elapsed: time.Since(start)}, nil
+	return &Result{Plan: p, Score: score, Expansions: steps, Evaluations: evals, HurryUp: true, Elapsed: time.Since(start)}, nil
 }
 
 // greedyDescend repeatedly takes the lowest-scoring child until reaching a
-// complete plan, scoring each level's children in one batched call. A
-// starting plan that is already complete (e.g. single-relation queries in
-// hurry-up mode) takes no descent step, so it is scored directly to keep the
-// returned score meaningful; otherwise the first step's scores overwrite it
-// and the up-front evaluation is skipped.
-func greedyDescend(p *plan.Plan, scorer BatchScorer, opts plan.ChildrenOptions) (*plan.Plan, float64, int) {
+// complete plan, scoring each level's children in one batched call, and
+// reports the number of descent steps taken (each step expands one plan
+// state, so callers fold it into Result.Expansions). A starting plan that is
+// already complete (e.g. single-relation queries in hurry-up mode) takes no
+// descent step, so it is scored directly to keep the returned score
+// meaningful; otherwise the first step's scores overwrite it and the
+// up-front evaluation is skipped.
+func greedyDescend(p *plan.Plan, scorer BatchScorer, opts plan.ChildrenOptions) (*plan.Plan, float64, int, int) {
 	cur := p
 	curScore := 0.0
 	evals := 0
+	steps := 0
 	if p.IsComplete() {
 		curScore = scoreBatch(scorer, []*plan.Plan{p})[0]
 		evals = 1
@@ -266,10 +294,11 @@ func greedyDescend(p *plan.Plan, scorer BatchScorer, opts plan.ChildrenOptions) 
 				opts.AllowCrossProducts = true
 				continue
 			}
-			return nil, 0, evals
+			return nil, 0, evals, steps
 		}
 		scores := scoreBatch(scorer, kids)
 		evals += len(kids)
+		steps++
 		best, bestScore := kids[0], scores[0]
 		for i, k := range kids[1:] {
 			if scores[i+1] < bestScore {
@@ -278,5 +307,5 @@ func greedyDescend(p *plan.Plan, scorer BatchScorer, opts plan.ChildrenOptions) 
 		}
 		cur, curScore = best, bestScore
 	}
-	return cur, curScore, evals
+	return cur, curScore, evals, steps
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"testing"
+	"time"
 
 	"neo/internal/datagen"
 	"neo/internal/plan"
@@ -92,9 +93,6 @@ func TestBestFirstRespectsExpansionBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Expansions > 3 {
-		t.Errorf("expansions %d exceeded budget 3", res.Expansions)
-	}
 	// With such a tiny budget the search must fall back to hurry-up mode,
 	// and still return a complete plan.
 	if !res.HurryUp {
@@ -102,6 +100,65 @@ func TestBestFirstRespectsExpansionBudget(t *testing.T) {
 	}
 	if !res.Plan.IsComplete() {
 		t.Errorf("hurry-up plan must still be complete")
+	}
+	// Expansions counts the 3 budgeted frontier pops plus the hurry-up
+	// descents' steps (a complete 5-way plan is at most a handful of levels
+	// away from any frontier node), so the reported effort can exceed the
+	// frontier budget but never by more than the two greedy descents
+	// hurry-up runs (last expanded node and best frontier node).
+	if res.Expansions <= 3 {
+		t.Errorf("expansions %d should include hurry-up descent steps on top of the 3 frontier pops", res.Expansions)
+	}
+	if max := 3 + 2*2*len(q.Relations); res.Expansions > max {
+		t.Errorf("expansions %d exceed budget plus two greedy descents (max %d)", res.Expansions, max)
+	}
+}
+
+func TestGreedyReportsExpansions(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	res, err := Greedy(q, ScorerFunc(structuralScorer), DefaultOptions(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Building a complete 5-way plan greedily takes one descent step per
+	// child generation; before the fix this was always reported as 0 and
+	// /stats under-counted search effort.
+	if res.Expansions == 0 {
+		t.Fatalf("greedy descent reported zero expansions: %+v", res)
+	}
+	if res.Expansions > 2*len(q.Relations) {
+		t.Errorf("greedy expansions %d implausibly high for a 5-way query", res.Expansions)
+	}
+	if res.Evaluations < res.Expansions {
+		t.Errorf("evaluations %d < expansions %d: each step scores at least one child",
+			res.Evaluations, res.Expansions)
+	}
+}
+
+// TestTimeBudgetEntersHurryUp pins the anytime contract when wall-clock, not
+// expansion count, is the binding budget: a scorer slow enough that a single
+// batched call overshoots the deadline must still yield a complete plan via
+// hurry-up, with the descent's effort counted.
+func TestTimeBudgetEntersHurryUp(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	slow := ScorerFunc(func(p *plan.Plan) float64 {
+		time.Sleep(200 * time.Microsecond)
+		return structuralScorer(p)
+	})
+	res, err := BestFirst(q, slow, Options{Catalog: cat, MaxExpansions: 10_000, TimeBudget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("time-budgeted search returned an incomplete plan")
+	}
+	if !res.HurryUp {
+		t.Errorf("a 1ms budget against a slow scorer should force hurry-up mode")
+	}
+	if res.Expansions == 0 {
+		t.Errorf("hurry-up effort went uncounted: %+v", res)
 	}
 }
 

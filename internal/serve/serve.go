@@ -441,6 +441,12 @@ type Stats struct {
 	LastTrainLoss float64            `json:"last_train_loss"`
 	Checkpoints   uint64             `json:"checkpoints"`
 	PlanCache     neo.PlanCacheStats `json:"plan_cache"`
+	// Fusion reports the cross-request inference scheduler shared by all
+	// in-flight /optimize searches: fused_batches counts forward passes that
+	// carried submissions from two or more searches, avg_fused_size the mean
+	// submissions per pass. All-zero (enabled=false) when the system was
+	// opened without fused scoring.
+	Fusion neo.FusionStats `json:"fusion"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -459,6 +465,7 @@ func (s *Server) snapshotStats() Stats {
 		LastTrainLoss: math.Float64frombits(s.lastLoss.Load()),
 		Checkpoints:   s.checkpoints.Load(),
 		PlanCache:     s.sys.PlanCacheStats(),
+		Fusion:        s.sys.FusionStats(),
 	}
 }
 

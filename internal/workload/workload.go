@@ -52,8 +52,19 @@ func (w *Workload) Split(trainFrac float64, seed int64) (train, test []*query.Qu
 	sort.Strings(keys)
 	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
 	cut := int(float64(len(keys)) * trainFrac)
+	// Clamp both sides so that, whenever the workload has at least two
+	// template groups, neither split comes back empty: a trainFrac near 0
+	// must still train on something, and a high trainFrac whose rounding
+	// swallows every group with few templates must still hold out a test
+	// group — otherwise Evaluate runs over zero queries and silently reports
+	// perfect generalisation. trainFrac >= 1 is exempt from the upper clamp:
+	// it is an explicit request to train on the whole workload (the unseen-
+	// queries protocol evaluates on a separately generated workload instead).
 	if cut < 1 && len(keys) > 1 {
 		cut = 1
+	}
+	if trainFrac < 1 && cut > len(keys)-1 && len(keys) > 1 {
+		cut = len(keys) - 1
 	}
 	for i, k := range keys {
 		if i < cut {

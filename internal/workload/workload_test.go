@@ -203,6 +203,47 @@ func TestSplitFractions(t *testing.T) {
 	}
 }
 
+// TestSplitClampsBothEdges guards the cut clamping: with at least two
+// template groups, no fractional trainFrac may return an empty side.
+// Before the upper clamp, a high trainFrac over few templates yielded an
+// empty test set, and Evaluate silently reported perfect generalisation over
+// zero queries. trainFrac >= 1 stays an explicit full-train request (the
+// unseen-queries examples rely on it), so only fractional values are
+// clamped.
+func TestSplitClampsBothEdges(t *testing.T) {
+	db := imdb(t)
+	w, err := JOB(db, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.0, 0.01, 0.95, 0.99} {
+		train, test := w.Split(frac, 3)
+		if len(train)+len(test) != len(w.Queries) {
+			t.Fatalf("trainFrac %.2f lost queries: %d + %d != %d", frac, len(train), len(test), len(w.Queries))
+		}
+		if len(train) == 0 {
+			t.Errorf("trainFrac %.2f returned an empty training set", frac)
+		}
+		if len(test) == 0 {
+			t.Errorf("trainFrac %.2f returned an empty test set", frac)
+		}
+	}
+	// An explicit 1.0 trains on every query and owes nothing to the test
+	// side.
+	train, test := w.Split(1.0, 3)
+	if len(train) != len(w.Queries) || len(test) != 0 {
+		t.Errorf("trainFrac 1.0 split = %d/%d, want %d/0", len(train), len(test), len(w.Queries))
+	}
+	// A single-template workload cannot honour both sides; a full-train
+	// request keeps everything in training and the degenerate test set
+	// stays visible to the caller.
+	single := &Workload{Name: "one", Queries: w.Queries[:1]}
+	train, test = single.Split(1.0, 3)
+	if len(train) != 1 || len(test) != 0 {
+		t.Errorf("single-group split = %d/%d, want 1/0", len(train), len(test))
+	}
+}
+
 func TestByID(t *testing.T) {
 	db := imdb(t)
 	w, err := JOB(db, 6, 11)

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"neo/internal/core"
 	"neo/internal/datagen"
@@ -25,6 +26,7 @@ import (
 	"neo/internal/feature"
 	"neo/internal/plan"
 	"neo/internal/query"
+	"neo/internal/sched"
 	"neo/internal/schema"
 	"neo/internal/search"
 	"neo/internal/stats"
@@ -81,6 +83,9 @@ type (
 	ExperimentConfig = experiments.Config
 	// ValueNetConfig configures the value-network architecture.
 	ValueNetConfig = valuenet.Config
+	// FusionStats reports the cross-request inference scheduler's cumulative
+	// fusion counters (see Config.FuseScoring and System.FusionStats).
+	FusionStats = sched.Stats
 )
 
 // Value and comparison-operator re-exports, so callers can build predicates
@@ -158,6 +163,23 @@ type Config struct {
 	// parallel training never changes results; pass a negative value to
 	// force serial training.
 	TrainWorkers int
+	// FuseScoring routes the batched-scoring submissions of every search —
+	// Optimize, PlanAll workers, concurrent neo-serve requests — through one
+	// shared micro-batching scheduler: submissions arriving within
+	// FuseLinger of each other are fused into a single value-network forward
+	// pass of up to MaxFusedBatch rows, so N concurrent searches approach
+	// the cost of one large-batch scorer instead of N small ones. Fused
+	// scores are bit-identical to private scoring, so plans, caches and
+	// training are unaffected; the scheduler is drained and recreated on
+	// every retraining swap, so one fused pass never mixes two weight sets.
+	// A search running alone skips the linger — an idle system pays nothing.
+	FuseScoring bool
+	// MaxFusedBatch caps the rows of one fused forward pass (default 64).
+	// Only meaningful with FuseScoring.
+	MaxFusedBatch int
+	// FuseLinger bounds how long a scoring submission waits to be fused
+	// (default 200µs). Only meaningful with FuseScoring.
+	FuseLinger time.Duration
 	// ValueNet overrides the value-network architecture (default: a small
 	// network structurally identical to the paper's).
 	ValueNet *ValueNetConfig
@@ -353,6 +375,9 @@ func Open(cfg Config) (*System, error) {
 	coreCfg.Seed = cfg.Seed
 	coreCfg.Workers = cfg.Workers
 	coreCfg.TrainWorkers = cfg.TrainWorkers
+	coreCfg.FuseScoring = cfg.FuseScoring
+	coreCfg.MaxFusedBatch = cfg.MaxFusedBatch
+	coreCfg.FuseLinger = cfg.FuseLinger
 	if cfg.ValueNet != nil {
 		coreCfg.ValueNet = *cfg.ValueNet
 	}
@@ -467,6 +492,12 @@ func (e cachedPlan) bind(q *Query) (*Plan, *SearchResult, error) {
 // PlanCacheStats reports hit/miss counters and the current size of the plan
 // cache.
 func (s *System) PlanCacheStats() PlanCacheStats { return s.cache.stats() }
+
+// FusionStats reports the cross-request inference scheduler's cumulative
+// fusion counters (Enabled is false — and everything zero — unless the
+// system was opened with Config.FuseScoring). Counters are monotonic across
+// retraining swaps. Safe for concurrent use.
+func (s *System) FusionStats() FusionStats { return s.Neo.FusionStats() }
 
 // Evaluate optimizes and executes every query over the configured worker
 // pool without adding anything to the experience (held-out evaluation). It

@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"testing"
+
+	"neo/internal/bench"
+)
+
+// BenchmarkFusedServing measures the cross-request inference scheduler on
+// the scoring traffic of 8 concurrent plan searches stampeding over hot
+// query structures (the cache-cold window right after a retraining swap):
+// private per-request scoring, where every request pays its own forward
+// passes against the shared snapshot, versus scheduler-backed serving, where
+// co-resident submissions fuse into shared passes and identical rows are
+// deduplicated and memoised over the same immutable weights. Fused and
+// private scoring are bit-identical per row (locked down by the sched, core
+// and serve test suites); the scheduler buys pure throughput. The committed
+// BENCH_serve.json baseline and CI's bench-gate enforce that fused serving
+// stays >= 1.5x over private.
+//
+// Verify the speedup with:
+//
+//	go test -bench BenchmarkFusedServing -run '^$' .
+func BenchmarkFusedServing(b *testing.B) {
+	private, fused := bench.ServingBenchmarks()
+	b.Run("private", private)
+	b.Run("fused", fused)
+}
