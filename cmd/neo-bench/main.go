@@ -98,9 +98,19 @@ func main() {
 // freshly measured suite.
 func ratioChecks(s bench.Suite, floor float64) []string {
 	pairs := map[string][][2]string{
-		"score": {{"scoring/sequential", "scoring/batched"}},
+		"score": {
+			{"scoring/sequential", "scoring/batched"},
+			// The packed float32 kernels must beat the batched float64 path
+			// on the machine the gate runs on. int8 gets a baseline entry but
+			// no ratio floor: its win over f32 is footprint and memory
+			// bandwidth, which a single-core CI runner does not reward.
+			{"scoring/batched", "scoring/f32"},
+		},
 		"train": {{"training/per-sample", "training/batched"}},
-		"serve": {{"serving/private", "serving/fused"}},
+		"serve": {
+			{"serving/private", "serving/fused"},
+			{"serving/private", "serving/fused-f32"},
+		},
 	}[s.Suite]
 	var problems []string
 	for _, p := range pairs {

@@ -50,6 +50,7 @@ func main() {
 		fuse         = flag.Bool("fuse-scoring", true, "fuse concurrent requests' value-network scoring into shared forward passes (bit-identical plans; see /stats fusion counters)")
 		maxFused     = flag.Int("max-fused-batch", 0, "row cap of one fused forward pass (0 = default 64)")
 		fuseLinger   = flag.Duration("fuse-linger", 0, "longest a scoring submission waits to be fused (0 = default 200µs)")
+		scorePrec    = flag.String("score-precision", "float32", "numeric format the frozen serving snapshot scores plans with: float64 (exact), float32 (packed tiled-GEMM kernels) or int8 (calibrated quantization; serves float32 until the first retrain provides calibration material). Training and checkpoints always stay float64.")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 		FuseScoring:      *fuse,
 		MaxFusedBatch:    *maxFused,
 		FuseLinger:       *fuseLinger,
+		ScorePrecision:   *scorePrec,
 	})
 	if err != nil {
 		fatal(err)

@@ -113,10 +113,17 @@ func newFixture(batchSize, trainWorkers int) *fixture {
 }
 
 // Scoring measures batched versus sequential inference at batch 32 (the
-// BenchmarkBatchedVsSequentialScoring pair).
+// BenchmarkBatchedVsSequentialScoring pair), plus the reduced-precision
+// snapshot kernels over the same batch: packed float32 tiled-GEMM panels and
+// the calibrated int8 mode (calibrated on the fixture's own samples).
 func Scoring() Suite {
 	const batchSize = 32
 	f := newFixture(batchSize, 1)
+	s32 := f.net.SnapshotPrecision(valuenet.PrecisionFloat32, nil)
+	s8 := f.net.SnapshotPrecision(valuenet.PrecisionInt8, f.samples)
+	if s8.Precision() != valuenet.PrecisionInt8 {
+		panic("bench: int8 snapshot fell back despite calibration samples")
+	}
 	return Suite{Suite: "score", Benchmarks: []Result{
 		measure("scoring/sequential", func(b *testing.B) {
 			b.ReportAllocs()
@@ -130,6 +137,18 @@ func Scoring() Suite {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				f.net.PredictBatch(f.queries, f.forests)
+			}
+		}),
+		measure("scoring/f32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s32.PredictBatch(f.queries, f.forests)
+			}
+		}),
+		measure("scoring/int8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s8.PredictBatch(f.queries, f.forests)
 			}
 		}),
 	}}
@@ -250,7 +269,7 @@ func (r *streamRecorder) ScoreBatch(ps []*plan.Plan) []float64 {
 // isolates the layer the scheduler changes: the forward passes. Each stream
 // shares one query-encoding slice per distinct query, exactly like core's
 // per-query encoding cache does for concurrent requests.
-func servingFixture() (*valuenet.Snapshot, []scoreStream) {
+func servingFixture() (snap, snap32 *valuenet.Snapshot, streams []scoreStream) {
 	sys, err := neo.Open(neo.Config{
 		Dataset:          "imdb",
 		Engine:           "postgres",
@@ -279,7 +298,7 @@ func servingFixture() (*valuenet.Snapshot, []scoreStream) {
 		panic(fmt.Sprintf("bench: serving bootstrap: %v", err))
 	}
 
-	streams := make([]scoreStream, servingHotQueries)
+	streams = make([]scoreStream, servingHotQueries)
 	for i := 0; i < servingHotQueries; i++ {
 		q := wl.Queries[i]
 		rec := &streamRecorder{inner: sys.Neo.Scorer(q)}
@@ -302,7 +321,13 @@ func servingFixture() (*valuenet.Snapshot, []scoreStream) {
 			streams[i].subs = append(streams[i].subs, sub)
 		}
 	}
-	return sys.Neo.Snapshot(), streams
+	snap = sys.Neo.Snapshot()
+	// Republish the same weights as a packed float32 snapshot for the
+	// fused-f32 leg (the neo-serve default serving configuration).
+	sys.Neo.Config.ScorePrecision = valuenet.PrecisionFloat32
+	sys.Neo.RestoreSnapshot(sys.Neo.NetVersion())
+	snap32 = sys.Neo.Snapshot()
+	return snap, snap32, streams
 }
 
 // replayServing drives the 8 concurrent search streams through a predictor —
@@ -334,23 +359,27 @@ func replayServing(predict sched.Backend, streams []scoreStream) {
 // A fresh scheduler per op keeps its memoisation cache as cold as a
 // just-swapped snapshot's. Scores are verified bit-identical before
 // measuring; plan-level equality is locked down by the core and serve test
-// suites.
-func ServingBenchmarks() (private, fused func(b *testing.B)) {
-	snap, streams := servingFixture()
+// suites. fusedF32 runs the same fused traffic against the float32-packed
+// form of the same weights — the neo-serve default.
+func ServingBenchmarks() (private, fused, fusedF32 func(b *testing.B)) {
+	snap, snap32, streams := servingFixture()
 
-	// Safety check: the gate compares throughput of the two paths, so first
-	// prove they produce the same bits for one full stream.
-	s := sched.New(snap, sched.Options{})
-	for _, sub := range streams[0].subs {
-		coalesced := s.PredictBatch(sub.queries, sub.forests)
-		direct := snap.PredictBatch(sub.queries, sub.forests)
-		for i := range direct {
-			if coalesced[i] != direct[i] {
-				panic(fmt.Sprintf("bench: fused score %v != private score %v", coalesced[i], direct[i]))
+	// Safety check: the gate compares throughput of the paths, so first
+	// prove fusion produces the same bits as private scoring for one full
+	// stream, at each precision against its own private baseline.
+	for _, sn := range []*valuenet.Snapshot{snap, snap32} {
+		s := sched.New(sn, sched.Options{})
+		for _, sub := range streams[0].subs {
+			coalesced := s.PredictBatch(sub.queries, sub.forests)
+			direct := sn.PredictBatch(sub.queries, sub.forests)
+			for i := range direct {
+				if coalesced[i] != direct[i] {
+					panic(fmt.Sprintf("bench: fused score %v != private score %v", coalesced[i], direct[i]))
+				}
 			}
 		}
+		s.Close()
 	}
-	s.Close()
 
 	private = func(b *testing.B) {
 		b.ReportAllocs()
@@ -358,24 +387,27 @@ func ServingBenchmarks() (private, fused func(b *testing.B)) {
 			replayServing(snap, streams)
 		}
 	}
-	fused = func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			s := sched.New(snap, sched.Options{})
-			replayServing(s, streams)
-			s.Close()
+	bench := func(sn *valuenet.Snapshot) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := sched.New(sn, sched.Options{})
+				replayServing(s, streams)
+				s.Close()
+			}
 		}
 	}
-	return private, fused
+	return private, bench(snap), bench(snap32)
 }
 
-// Serving measures the ServingBenchmarks pair (the BenchmarkFusedServing
+// Serving measures the ServingBenchmarks set (the BenchmarkFusedServing
 // suite of the regression gate).
 func Serving() Suite {
-	private, fused := ServingBenchmarks()
+	private, fused, fusedF32 := ServingBenchmarks()
 	return Suite{Suite: "serve", Benchmarks: []Result{
 		measure("serving/private", private),
 		measure("serving/fused", fused),
+		measure("serving/fused-f32", fusedF32),
 	}}
 }
 

@@ -91,6 +91,14 @@ type Config struct {
 	// others before its batch runs anyway (zero selects sched.DefaultLinger,
 	// 200µs). Only meaningful with FuseScoring.
 	FuseLinger time.Duration
+	// ScorePrecision selects the numeric format serving snapshots score
+	// with: float64 (the exact training kernels, the zero value), float32
+	// (packed tiled-GEMM panels), or int8 (symmetric per-channel quantized
+	// with calibrated activation scales; falls back to float32 until the
+	// experience holds calibration samples). Conversion happens once per
+	// snapshot publication, inside the atomic swap — training and
+	// checkpoints stay bit-identical float64 regardless of this setting.
+	ScorePrecision valuenet.Precision
 	// TrainWorkers is the number of data-parallel gradient workers each
 	// retraining minibatch is sharded over (valuenet.Config.TrainWorkers).
 	// Trained weights are bit-identical for every worker count — the shard
@@ -277,9 +285,105 @@ func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
 	if cfg.FuseScoring {
 		n.fuse = &sched.Counters{}
 	}
-	n.snap.Store(n.newNetSnapshot(net.Snapshot(), 0))
+	n.snap.Store(n.newNetSnapshot(n.freezeNet(), 0))
 	return n
 }
+
+// calibrationSampleCap bounds how many recorded featurizations the int8
+// calibration pass runs at snapshot time; calibrationRandomCap additionally
+// bounds the random-plan featurizations mixed in to cover the search-space
+// activation ranges (plan search scores many candidates far from the
+// recorded demonstrations, and activations outside the calibrated absmax
+// clamp — so calibrating on demonstrations alone would saturate exactly the
+// states the search needs ranked).
+const (
+	calibrationSampleCap   = 96
+	calibrationRandomCap   = 256
+	calibrationRandomPlans = 6 // random plans per distinct recent query
+)
+
+// calibrationSamples returns featurizations for the int8 activation-scale
+// calibration: up to max recorded ones (for the most recent experience
+// entries, the complete plan plus the partial plans along its construction,
+// so the calibration covers leaf-heavy forests as well as full join trees),
+// plus construction states of deterministic random plans for the recent
+// distinct queries, which widen the calibrated ranges to what plan search
+// actually visits. Returns nil unless the configured precision is int8.
+func (n *Neo) calibrationSamples(max int) []valuenet.Sample {
+	if n.Config.ScorePrecision != valuenet.PrecisionInt8 {
+		return nil
+	}
+	entries := n.Experience.Entries()
+	var samples []valuenet.Sample
+	for i := len(entries) - 1; i >= 0 && len(samples) < max; i-- {
+		entry := entries[i]
+		qEnc := n.encodeQuery(entry.Query)
+		for _, partial := range constructionStates(entry.Plan) {
+			if len(samples) >= max {
+				break
+			}
+			samples = append(samples, valuenet.Sample{
+				Query: qEnc,
+				Plan:  n.Featurizer.EncodePlan(partial),
+			})
+		}
+	}
+	rng := rand.New(rand.NewSource(n.Config.Seed ^ 0x5ca1ab1e))
+	budget := calibrationRandomCap
+	seen := make(map[string]bool)
+	for i := len(entries) - 1; i >= 0 && budget > 0; i-- {
+		q := entries[i].Query
+		if seen[q.ID] {
+			continue
+		}
+		seen[q.ID] = true
+		qEnc := n.encodeQuery(q)
+		for r := 0; r < calibrationRandomPlans && budget > 0; r++ {
+			for _, partial := range constructionStates(n.randomPlan(q, rng)) {
+				if budget <= 0 {
+					break
+				}
+				samples = append(samples, valuenet.Sample{
+					Query: qEnc,
+					Plan:  n.Featurizer.EncodePlan(partial),
+				})
+				budget--
+			}
+		}
+	}
+	return samples
+}
+
+// randomPlan builds a uniformly random complete plan for q (random join
+// order, operators and access paths) — the calibration pass's stand-in for
+// the kinds of candidates plan search scores.
+func (n *Neo) randomPlan(q *query.Query, rng *rand.Rand) *plan.Plan {
+	p := plan.Initial(q)
+	opts := plan.ChildrenOptions{Catalog: n.Featurizer.Catalog}
+	for !p.IsComplete() {
+		kids := p.Children(opts)
+		if len(kids) == 0 {
+			kids = p.Children(plan.ChildrenOptions{Catalog: n.Featurizer.Catalog, AllowCrossProducts: true})
+			if len(kids) == 0 {
+				return p
+			}
+		}
+		p = kids[rng.Intn(len(kids))]
+	}
+	return p
+}
+
+// freezeNet converts the live network's current weights into a serving
+// snapshot at the configured scoring precision (the packing/quantization
+// step of a snapshot publication). Callers must guarantee no training round
+// is mutating the weights, exactly as for Net.Snapshot.
+func (n *Neo) freezeNet() *valuenet.Snapshot {
+	return n.Net.SnapshotPrecision(n.Config.ScorePrecision, n.calibrationSamples(calibrationSampleCap))
+}
+
+// SnapshotInfo reports the serving snapshot's scoring precision and memory
+// footprint. Safe for concurrent use.
+func (n *Neo) SnapshotInfo() valuenet.SnapshotInfo { return n.Snapshot().Info() }
 
 // newNetSnapshot wraps a frozen network for publication, attaching a fresh
 // micro-batching scheduler pinned to it when fused scoring is enabled. All
@@ -332,7 +436,7 @@ func (n *Neo) NetVersion() uint64 { return n.snap.Load().version }
 // the serving snapshot, in one atomic store together with the bumped
 // version. Callers must hold trainMu (which serializes version increments).
 func (n *Neo) publishSnapshot() {
-	n.swapSnapshot(n.newNetSnapshot(n.Net.Snapshot(), n.snap.Load().version+1))
+	n.swapSnapshot(n.newNetSnapshot(n.freezeNet(), n.snap.Load().version+1))
 }
 
 // RestoreSnapshot freezes the live network's current weights and publishes
@@ -342,7 +446,7 @@ func (n *Neo) publishSnapshot() {
 func (n *Neo) RestoreSnapshot(version uint64) {
 	n.trainMu.Lock()
 	defer n.trainMu.Unlock()
-	n.swapSnapshot(n.newNetSnapshot(n.Net.Snapshot(), version))
+	n.swapSnapshot(n.newNetSnapshot(n.freezeNet(), version))
 }
 
 // RNGState returns the seed and draw count that describe the training RNG's

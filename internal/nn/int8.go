@@ -1,0 +1,330 @@
+// Int8 quantized inference kernels. Weights are quantized symmetrically per
+// output channel (no zero point), activations symmetrically per input
+// channel with scales fixed at snapshot time by a calibration pass (absmax
+// over a sample of recorded featurizations), and the GEMM accumulates in
+// int32. The per-channel activation scales are folded into the weights at
+// pack time (channel equalization): with a[k] the calibrated absmax of input
+// channel k,
+//
+//	x[k] ≈ q(x)[k] · a[k]/127          (activation quantized by 127/a[k])
+//	w'[o][k] = w[o][k] · a[k]          (equalized weight row)
+//	w'[o][k] ≈ qW[o][k] · absmax'[o]/127
+//
+// so the channel scales cancel inside the dot product and one per-output
+// dequantization scale absmax'[o]/127² recovers
+//
+//	y[r][o] = bias[o] + Σ_k q(x)[r][k]·qW[o][k] · Scale[o].
+//
+// Equalizing per channel instead of per tensor matters for accuracy: the
+// network's concatenated inputs mix channels of wildly different ranges
+// (one-hot bits next to pooled activations), and a single tensor-wide scale
+// would spend the whole int8 budget on the largest channel.
+//
+// Unlike the float32 panels, quantized weights are stored row-major — one
+// contiguous K-row per output channel, zero-padded to PadI8 bytes — because
+// the AVX2 kernel consumes them as straight-line dot products (VPMOVSXBW
+// widening loads feeding VPMADDWD chains) rather than broadcast-FMA panels.
+// Activations are quantized into the same 16-byte-granular stride with
+// zeroed padding, so the kernel never needs a scalar K-tail: padding
+// contributes exact zeros to every dot product. The K-prefix trick the tree
+// convolution's leaf kernel relies on still works — restricting a GEMM to
+// kUsed < K reads weight bytes from the [kUsed, PadI8(kUsed)) gutter, but
+// the matching activation bytes are zero. Activations between GEMMs (leaky
+// ReLU, layer norm) stay float32 — only the dot products run in int8, which
+// is where the footprint and bandwidth live.
+package nn
+
+// PadI8 rounds a K dimension up to the int8 kernel's 16-byte block size: the
+// row stride quantized activations and weights are stored at.
+func PadI8(k int) int { return (k + 15) &^ 15 }
+
+// PackedI8 is an int8 weight matrix in padded row-major layout with
+// per-output-channel dequantization scales.
+type PackedI8 struct {
+	Out, K int
+	Kp     int // row stride: PadI8(K)
+	Bias   []float32
+	Scale  []float32 // per output channel: equalized absmax/127² (see package doc)
+	W      []int8    // ceil4(Out) rows × Kp, zero-padded in both dimensions
+}
+
+// PackI8 quantizes the row-major float64 matrices mats (mats[i] is out×ks[i])
+// into one padded int8 panel matrix; the K dimension concatenates the ks in
+// order. chanAbs holds the calibrated per-input-channel absmax the matching
+// activations are quantized with (length ΣK; nil means all ones, i.e. no
+// equalization); it is folded into the weights before per-output-channel
+// quantization, so extreme weights saturate exactly at ±127 and never wrap.
+func PackI8(out int, bias []float64, ks []int, chanAbs []float32, mats ...[]float64) PackedI8 {
+	k := 0
+	for _, ki := range ks {
+		k += ki
+	}
+	kp := PadI8(k)
+	p := PackedI8{
+		Out:   out,
+		K:     k,
+		Kp:    kp,
+		Bias:  make([]float32, out),
+		Scale: make([]float32, out),
+		// Rows padded to a multiple of 4 so the kernel always processes
+		// whole 4-output blocks; the extra rows are zero.
+		W: make([]int8, (out+3)/4*4*kp),
+	}
+	for o, b := range bias {
+		p.Bias[o] = float32(b)
+	}
+	chAbs := func(kk int) float64 {
+		if chanAbs == nil {
+			return 1
+		}
+		if a := float64(chanAbs[kk]); a > 0 {
+			return a
+		}
+		return 1
+	}
+	for o := 0; o < out; o++ {
+		var absmax float64
+		kBase := 0
+		for mi, m := range mats {
+			ki := ks[mi]
+			for kk, w := range m[o*ki : (o+1)*ki] {
+				w *= chAbs(kBase + kk)
+				if w < 0 {
+					w = -w
+				}
+				if w > absmax {
+					absmax = w
+				}
+			}
+			kBase += ki
+		}
+		if absmax == 0 {
+			// All-zero row: weights stay zero; any positive scale works.
+			p.Scale[o] = 1
+			continue
+		}
+		p.Scale[o] = float32(absmax / (127 * 127))
+		row := p.W[o*kp : o*kp+k]
+		kBase = 0
+		for mi, m := range mats {
+			ki := ks[mi]
+			for kk, w := range m[o*ki : (o+1)*ki] {
+				// Normalising by absmax before scaling to 127 keeps the
+				// mapping exact (±absmax → ±127) even for denormal rows,
+				// where absmax/127 would underflow.
+				row[kBase+kk] = quantI8(w * chAbs(kBase+kk) / absmax * 127)
+			}
+			kBase += ki
+		}
+	}
+	return p
+}
+
+// Bytes returns the packed footprint in bytes.
+func (p *PackedI8) Bytes() int { return len(p.W) + 4*(len(p.Bias)+len(p.Scale)) }
+
+func quantI8(v float64) int8 {
+	if v >= 0 {
+		v += 0.5
+	} else {
+		v -= 0.5
+	}
+	q := int32(v)
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// QuantizeRows quantizes rows×k row-major activations into dst at the
+// kernel's padded stride PadI8(k), with per-channel inverse scales
+// (inv[c] = 127/absmax of channel c), rounding to nearest and clamping to
+// ±127 so out-of-calibration activations saturate instead of wrapping. The
+// [k, PadI8(k)) gutter of every destination row is zeroed — the property the
+// tail-free kernel relies on. dst must be at least rows*PadI8(k) long.
+func QuantizeRows(dst []int8, xs []float32, rows, k int, inv []float32) {
+	kp := PadI8(k)
+	for r := 0; r < rows; r++ {
+		row := xs[r*k : (r+1)*k]
+		qrow := dst[r*kp : r*kp+kp]
+		for c := k; c < kp; c++ {
+			qrow[c] = 0
+		}
+		for c, v := range row {
+			f := v * inv[c]
+			// Clamp in the float domain: converting an out-of-range float32
+			// to int32 is implementation-defined (it wraps to math.MinInt32
+			// on amd64), so far-out-of-calibration values must saturate
+			// first.
+			if f >= 126.5 {
+				qrow[c] = 127
+				continue
+			}
+			if f <= -126.5 {
+				qrow[c] = -127
+				continue
+			}
+			if f >= 0 {
+				f += 0.5
+			} else {
+				f -= 0.5
+			}
+			qrow[c] = int8(int32(f))
+		}
+	}
+}
+
+// Gemm computes the int8 GEMM with int32 accumulation and float32
+// dequantization: xq holds rows×PadI8(kUsed) activations quantized at the
+// padded stride with the per-channel scales the rows were equalized against
+// (QuantizeRows), ys receives rows×Out float32 values. kUsed must not exceed
+// p.K; a smaller kUsed restricts the dot products to a K-prefix of every
+// weight row — the [kUsed, PadI8(kUsed)) weight gutter is multiplied by the
+// zeroed activation padding, contributing nothing. On AVX2 hardware the
+// 4-output dot-product block runs in assembly (VPMOVSXBW widening loads into
+// VPMADDWD/VPADDD chains, 16 bytes per step); elsewhere a portable scalar
+// loop computes the identical int32 sums.
+func (p *PackedI8) Gemm(xq []int8, rows, kUsed int, ys []float32) {
+	out := p.Out
+	kq := PadI8(kUsed)
+	if useAVX2 && kq > 0 && rows > 0 {
+		var acc [4]int32
+		for r := 0; r < rows; r++ {
+			x := &xq[r*kq]
+			for o := 0; o < out; o += 4 {
+				gemmQuadI8(x, &p.W[o*p.Kp], kq/16, p.Kp, &acc[0])
+				p.dequantRow(ys[r*out+o:], out-o, o, acc[0], acc[1], acc[2], acc[3])
+			}
+		}
+		return
+	}
+	for r := 0; r < rows; r++ {
+		x := xq[r*kq : r*kq+kUsed]
+		for o := 0; o < out; o += 4 {
+			w0 := p.W[o*p.Kp : o*p.Kp+kUsed]
+			w1 := p.W[(o+1)*p.Kp : (o+1)*p.Kp+kUsed]
+			w2 := p.W[(o+2)*p.Kp : (o+2)*p.Kp+kUsed]
+			w3 := p.W[(o+3)*p.Kp : (o+3)*p.Kp+kUsed]
+			var a0, a1, a2, a3 int32
+			for k, v := range x {
+				vv := int32(v)
+				a0 += vv * int32(w0[k])
+				a1 += vv * int32(w1[k])
+				a2 += vv * int32(w2[k])
+				a3 += vv * int32(w3[k])
+			}
+			p.dequantRow(ys[r*out+o:], out-o, o, a0, a1, a2, a3)
+		}
+	}
+}
+
+// dequantRow converts one panel's accumulators into float32 outputs.
+func (p *PackedI8) dequantRow(y []float32, on int, o int, a0, a1, a2, a3 int32) {
+	y[0] = p.Bias[o] + float32(a0)*p.Scale[o]
+	if on > 1 {
+		y[1] = p.Bias[o+1] + float32(a1)*p.Scale[o+1]
+	}
+	if on > 2 {
+		y[2] = p.Bias[o+2] + float32(a2)*p.Scale[o+2]
+	}
+	if on > 3 {
+		y[3] = p.Bias[o+3] + float32(a3)*p.Scale[o+3]
+	}
+}
+
+// sanitizeChanAbs replaces non-positive calibrated channel absmaxes (dead
+// channels, or a calibration pass that never ran) with 1 so quantization
+// never divides by zero; returns its own copy.
+func sanitizeChanAbs(abs []float32, k int) []float32 {
+	out := make([]float32, k)
+	for c := range out {
+		a := float32(0)
+		if c < len(abs) {
+			a = abs[c]
+		}
+		if !(a > 0) {
+			a = 1
+		}
+		out[c] = a
+	}
+	return out
+}
+
+// MLPI8 is the int8 quantized form of an MLP: equalized quantized panels
+// plus the per-layer, per-channel input quantization multipliers fixed by
+// calibration. Immutable after construction; safe for concurrent use.
+type MLPI8 struct {
+	Lins  []PackedI8
+	InInv [][]float32     // per layer, per input channel: 127/absmax
+	Norms []*LayerNormF32 // nil entries mirror MLP.Norms
+	Alpha float32
+}
+
+// NewMLPI8 quantizes a trained MLP. calibAbs[i] holds the calibrated
+// per-channel absmax of Linear i's input activations (from
+// MLPF32.ForwardBatchObserve over the calibration sample); non-positive
+// entries fall back to absmax 1.
+func NewMLPI8(m *MLP, calibAbs [][]float32) *MLPI8 {
+	out := &MLPI8{Alpha: float32(m.Act.Alpha)}
+	for i, lin := range m.Linears {
+		var abs []float32
+		if i < len(calibAbs) {
+			abs = calibAbs[i]
+		}
+		abs = sanitizeChanAbs(abs, lin.In)
+		out.Lins = append(out.Lins, PackI8(lin.Out, lin.B.Value, []int{lin.In}, abs, lin.W.Value))
+		inv := make([]float32, lin.In)
+		for c, a := range abs {
+			inv[c] = 127 / a
+		}
+		out.InInv = append(out.InInv, inv)
+		if m.Norms[i] != nil {
+			out.Norms = append(out.Norms, NewLayerNormF32(m.Norms[i]))
+		} else {
+			out.Norms = append(out.Norms, nil)
+		}
+	}
+	return out
+}
+
+// Bytes returns the packed footprint in bytes.
+func (m *MLPI8) Bytes() int {
+	total := 0
+	for i := range m.Lins {
+		total += m.Lins[i].Bytes() + 4*len(m.InInv[i])
+		if m.Norms[i] != nil {
+			total += m.Norms[i].Bytes()
+		}
+	}
+	return total
+}
+
+// ForwardBatch runs the quantized MLP over rows input rows (row-major float32
+// in xs); each layer quantizes its input tensor with the calibrated
+// per-channel scales, runs the int8 GEMM, and applies
+// activation/normalisation in float32.
+func (m *MLPI8) ForwardBatch(xs []float32, rows int, a *Arena32, qa *ArenaI8) []float32 {
+	cur := xs
+	last := len(m.Lins) - 1
+	for i := range m.Lins {
+		lin := &m.Lins[i]
+		xq := qa.Alloc(rows * lin.Kp)
+		QuantizeRows(xq, cur, rows, lin.K, m.InInv[i])
+		ys := a.Alloc(rows * lin.Out)
+		lin.Gemm(xq, rows, lin.K, ys)
+		if i == last {
+			cur = ys
+			continue
+		}
+		LeakyReLUF32(ys, m.Alpha)
+		if m.Norms[i] != nil {
+			cur = m.Norms[i].ForwardBatch(ys, rows, a)
+		} else {
+			cur = ys
+		}
+	}
+	return cur
+}

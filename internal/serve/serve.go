@@ -447,6 +447,12 @@ type Stats struct {
 	// submissions per pass. All-zero (enabled=false) when the system was
 	// opened without fused scoring.
 	Fusion neo.FusionStats `json:"fusion"`
+	// Snapshot reports the serving snapshot's scoring precision and memory
+	// footprint: "float64" is the exact training format, "float32"/"int8"
+	// are the packed inference-kernel formats converted once per snapshot
+	// publication (see the -score-precision flag). An int8 deployment shows
+	// "float32" until a retrain gives it calibration material.
+	Snapshot neo.SnapshotInfo `json:"snapshot"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -466,6 +472,7 @@ func (s *Server) snapshotStats() Stats {
 		Checkpoints:   s.checkpoints.Load(),
 		PlanCache:     s.sys.PlanCacheStats(),
 		Fusion:        s.sys.FusionStats(),
+		Snapshot:      s.sys.SnapshotInfo(),
 	}
 }
 

@@ -16,7 +16,10 @@ import (
 )
 
 // testSystem assembles and bootstraps a small system (1-hot encoding: no
-// embedding training, so the integration test stays fast under -race).
+// embedding training, so the integration test stays fast under -race). It
+// serves at float32 precision — the neo-serve default — so the whole
+// lifecycle (optimize, retrain swap, checkpoint, warm restart) runs through
+// the packed inference kernels.
 func testSystem(t testing.TB) (*neo.System, []*neo.Query) {
 	t.Helper()
 	sys, err := neo.Open(neo.Config{
@@ -27,6 +30,7 @@ func testSystem(t testing.TB) (*neo.System, []*neo.Query) {
 		Seed:             7,
 		SearchExpansions: 24,
 		Episodes:         1,
+		ScorePrecision:   "float32",
 		ValueNet: &neo.ValueNetConfig{
 			QueryLayers:  []int{16, 8},
 			TreeChannels: []int{8, 8},
@@ -148,7 +152,11 @@ func TestServeLifecycle(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
-	versionBefore := getStats(t, ts.URL).NetVersion
+	initial := getStats(t, ts.URL)
+	versionBefore := initial.NetVersion
+	if initial.Snapshot.Precision != "float32" || initial.Snapshot.PanelBytes == 0 {
+		t.Fatalf("stats snapshot section not reporting float32 serving: %+v", initial.Snapshot)
+	}
 
 	// Concurrent optimize + feedback clients.
 	var wg sync.WaitGroup

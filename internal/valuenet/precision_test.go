@@ -1,0 +1,191 @@
+package valuenet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"neo/internal/treeconv"
+)
+
+// precisionFixture builds a lightly trained network plus a reference workload
+// of (query, forest) pairs.
+func precisionFixture(t *testing.T, seed int64) (*Network, [][]float64, [][]*treeconv.Tree, []Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const queryDim, planDim = 11, 7
+	cfg := DefaultConfig()
+	cfg.QueryLayers = []int{16, 8}
+	cfg.TreeChannels = []int{12, 8}
+	cfg.HeadLayers = []int{8}
+	net := New(queryDim, planDim, cfg)
+
+	var samples []Sample
+	for i := 0; i < 24; i++ {
+		q := make([]float64, queryDim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		samples = append(samples, Sample{
+			Query:  q,
+			Plan:   []*treeconv.Tree{randomPlanTree(rng, 1+rng.Intn(6), planDim)},
+			Target: 10 + rng.Float64()*1000,
+		})
+	}
+	net.Train(samples, 2, 8, rng)
+
+	queries := make([][]float64, len(samples))
+	forests := make([][]*treeconv.Tree, len(samples))
+	for i, s := range samples {
+		queries[i] = s.Query
+		forests[i] = s.Plan
+	}
+	return net, queries, forests, samples
+}
+
+func randomPlanTree(rng *rand.Rand, n, dim int) *treeconv.Tree {
+	if n <= 0 {
+		return nil
+	}
+	data := make([]float64, dim)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	if n == 1 {
+		return treeconv.NewLeaf(data)
+	}
+	nl := rng.Intn(n)
+	return treeconv.NewNode(data, randomPlanTree(rng, nl, dim), randomPlanTree(rng, n-1-nl, dim))
+}
+
+// TestSnapshotFloat32Parity asserts the float32 snapshot scores within 1e-5
+// relative of the float64 snapshot in normalised space, including batch=1.
+func TestSnapshotFloat32Parity(t *testing.T) {
+	net, queries, forests, _ := precisionFixture(t, 31)
+	s64 := net.SnapshotPrecision(PrecisionFloat64, nil)
+	s32 := net.SnapshotPrecision(PrecisionFloat32, nil)
+
+	want := s64.PredictBatchNormalized(queries, forests)
+	got := s32.PredictBatchNormalized(queries, forests)
+	for i := range want {
+		rel := math.Abs(got[i]-want[i]) / math.Max(1, math.Abs(want[i]))
+		if rel > 1e-5 {
+			t.Fatalf("f32 normalised[%d] = %v want %v (rel err %g)", i, got[i], want[i], rel)
+		}
+	}
+
+	// Batch of one and the single-pair entry points agree with the batch.
+	one := s32.PredictBatchNormalized(queries[:1], forests[:1])
+	if one[0] != got[0] {
+		t.Fatalf("batch=1 diverges: %v vs %v", one[0], got[0])
+	}
+	if v := s32.PredictNormalized(queries[0], forests[0]); v != got[0] {
+		t.Fatalf("PredictNormalized diverges: %v vs %v", v, got[0])
+	}
+	// Denormalized predictions pass through the same float64 output boundary.
+	if p, b := s32.Predict(queries[0], forests[0]), s32.PredictBatch(queries[:1], forests[:1])[0]; p != b {
+		t.Fatalf("Predict/PredictBatch diverge: %v vs %v", p, b)
+	}
+}
+
+// TestSnapshotInt8CalibratedBound asserts int8 scoring tracks float64 within
+// the documented calibrated bound (0.05 absolute in normalised log-cost
+// space on in-calibration workloads; per-channel activation equalization
+// keeps the measured fixture error under 0.02).
+func TestSnapshotInt8CalibratedBound(t *testing.T) {
+	net, queries, forests, samples := precisionFixture(t, 32)
+	s64 := net.SnapshotPrecision(PrecisionFloat64, nil)
+	s8 := net.SnapshotPrecision(PrecisionInt8, samples)
+	if s8.Precision() != PrecisionInt8 {
+		t.Fatalf("precision = %v, want int8", s8.Precision())
+	}
+
+	want := s64.PredictBatchNormalized(queries, forests)
+	got := s8.PredictBatchNormalized(queries, forests)
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 0.05 {
+			t.Fatalf("int8 normalised[%d] = %v want %v (err %g beyond calibrated bound)", i, got[i], want[i], d)
+		}
+	}
+}
+
+// TestSnapshotInt8FallsBackWithoutCalibration asserts an int8 request with no
+// calibration samples serves float32 and reports it.
+func TestSnapshotInt8FallsBackWithoutCalibration(t *testing.T) {
+	net, queries, forests, _ := precisionFixture(t, 33)
+	s8 := net.SnapshotPrecision(PrecisionInt8, nil)
+	if s8.Precision() != PrecisionFloat32 {
+		t.Fatalf("precision = %v, want float32 fallback", s8.Precision())
+	}
+	if info := s8.Info(); info.Precision != "float32" {
+		t.Fatalf("Info().Precision = %q, want float32", info.Precision)
+	}
+	s32 := net.SnapshotPrecision(PrecisionFloat32, nil)
+	a := s8.PredictBatchNormalized(queries, forests)
+	b := s32.PredictBatchNormalized(queries, forests)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fallback snapshot diverges from float32 at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSnapshotInfo asserts the footprint report: float64 has no panels,
+// float32 panels cost ≈4 bytes/param plus padding, int8 panels are smaller
+// than float32's.
+func TestSnapshotInfo(t *testing.T) {
+	net, _, _, samples := precisionFixture(t, 34)
+	i64 := net.SnapshotPrecision(PrecisionFloat64, nil).Info()
+	i32 := net.SnapshotPrecision(PrecisionFloat32, nil).Info()
+	i8 := net.SnapshotPrecision(PrecisionInt8, samples).Info()
+
+	if i64.Precision != "float64" || i32.Precision != "float32" || i8.Precision != "int8" {
+		t.Fatalf("precisions = %q/%q/%q", i64.Precision, i32.Precision, i8.Precision)
+	}
+	if i64.Parameters != net.NumParameters() || i64.ParamBytes != 8*net.NumParameters() {
+		t.Fatalf("param accounting wrong: %+v", i64)
+	}
+	if i64.PanelBytes != 0 {
+		t.Fatalf("float64 snapshot has panel bytes: %d", i64.PanelBytes)
+	}
+	if i32.PanelBytes == 0 || i8.PanelBytes == 0 {
+		t.Fatalf("packed snapshots report no panel bytes: f32=%d i8=%d", i32.PanelBytes, i8.PanelBytes)
+	}
+	if i8.PanelBytes >= i32.PanelBytes {
+		t.Fatalf("int8 panels (%d B) not smaller than float32 panels (%d B)", i8.PanelBytes, i32.PanelBytes)
+	}
+}
+
+// TestSnapshotFloat32Concurrent hammers one shared float32 snapshot from many
+// goroutines (run under -race in CI) and checks every caller sees identical
+// scores.
+func TestSnapshotFloat32Concurrent(t *testing.T) {
+	net, queries, forests, _ := precisionFixture(t, 35)
+	s32 := net.SnapshotPrecision(PrecisionFloat32, nil)
+	want := s32.PredictBatchNormalized(queries, forests)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				got := s32.PredictBatchNormalized(queries, forests)
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- "concurrent PredictBatch diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -46,36 +46,60 @@ func (n *Network) Clone() *Network {
 // Snapshot is an immutable point-in-time copy of a network, safe to share
 // across any number of concurrent searches. It has no training methods; the
 // weights it scores with can never change after creation.
+//
+// A snapshot always carries the float64 master weights (net); depending on
+// the precision it was published with (see SnapshotPrecision), scoring runs
+// either directly on them or through the packed float32 / quantized int8
+// kernels converted once at snapshot time.
 type Snapshot struct {
-	net *Network
+	net  *Network
+	prec Precision
+	f32  *netF32 // packed panels; non-nil when prec is float32
+	i8   *netI8  // quantized panels; non-nil when prec is int8
 }
 
-// Snapshot deep-copies the network's current weights into a frozen
+// Snapshot deep-copies the network's current weights into a frozen float64
 // predictor. Call it only when no training round is mutating the weights
 // (Neo calls it at the end of each retraining round, under the training
-// lock).
+// lock). See SnapshotPrecision for reduced-precision snapshots.
 func (n *Network) Snapshot() *Snapshot {
-	return &Snapshot{net: n.Clone()}
+	return n.SnapshotPrecision(PrecisionFloat64, nil)
 }
 
 // Predict implements Predictor.
 func (s *Snapshot) Predict(queryVec []float64, trees []*treeconv.Tree) float64 {
-	return s.net.Predict(queryVec, trees)
+	if s.prec == PrecisionFloat64 {
+		return s.net.Predict(queryVec, trees)
+	}
+	return s.net.denormalize(s.PredictNormalized(queryVec, trees))
 }
 
 // PredictNormalized implements Predictor.
 func (s *Snapshot) PredictNormalized(queryVec []float64, trees []*treeconv.Tree) float64 {
-	return s.net.PredictNormalized(queryVec, trees)
+	if s.prec == PrecisionFloat64 {
+		return s.net.PredictNormalized(queryVec, trees)
+	}
+	return s.forward32([][]float64{queryVec}, [][]*treeconv.Tree{trees}, nil, nil, nil)[0]
 }
 
 // PredictBatch implements Predictor.
 func (s *Snapshot) PredictBatch(queries [][]float64, forests [][]*treeconv.Tree) []float64 {
-	return s.net.PredictBatch(queries, forests)
+	if s.prec == PrecisionFloat64 {
+		return s.net.PredictBatch(queries, forests)
+	}
+	out := s.forward32(queries, forests, nil, nil, nil)
+	for i, v := range out {
+		out[i] = s.net.denormalize(v)
+	}
+	return out
 }
 
 // PredictBatchNormalized implements Predictor.
 func (s *Snapshot) PredictBatchNormalized(queries [][]float64, forests [][]*treeconv.Tree) []float64 {
-	return s.net.PredictBatchNormalized(queries, forests)
+	if s.prec == PrecisionFloat64 {
+		return s.net.PredictBatchNormalized(queries, forests)
+	}
+	return s.forward32(queries, forests, nil, nil, nil)
 }
 
 // NumParameters returns the total number of scalar parameters of the frozen

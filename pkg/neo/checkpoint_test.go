@@ -203,3 +203,78 @@ func TestCheckpointLoadResetsPlanCache(t *testing.T) {
 		t.Fatalf("plan cache holds %d entries after load, want 0", got)
 	}
 }
+
+// precisionSystem opens a system identical to smallSystem but serving at the
+// given scoring precision.
+func precisionSystem(t testing.TB, prec string) *System {
+	t.Helper()
+	sys, err := Open(Config{
+		Dataset:          "imdb",
+		Engine:           "postgres",
+		Encoding:         Histogram,
+		Scale:            0.15,
+		Seed:             7,
+		SearchExpansions: 32,
+		Episodes:         1,
+		ScorePrecision:   prec,
+		ValueNet: &ValueNetConfig{
+			QueryLayers:  []int{16, 8},
+			TreeChannels: []int{8, 8},
+			HeadLayers:   []int{8},
+			LearningRate: 2e-3,
+			UseLayerNorm: true,
+			Seed:         3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestCheckpointPrecisionIsSnapshotOnly asserts that serving precision never
+// leaks into the checkpoint container: a checkpoint saved while serving int8
+// restores the float64 master weights bit-identically into systems serving
+// at any precision, and each restored system serves at its own configured
+// precision, not the saver's.
+func TestCheckpointPrecisionIsSnapshotOnly(t *testing.T) {
+	src := precisionSystem(t, "int8")
+	wl, err := src.GenerateWorkload(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Bootstrap(wl.Queries[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.SnapshotInfo().Precision; got != "int8" {
+		t.Fatalf("source serves %q, want int8", got)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	want := src.Neo.Net.Params()
+	for _, prec := range []string{"", "float32", "int8"} {
+		dst := precisionSystem(t, prec)
+		if err := dst.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		got := dst.Neo.Net.Params()
+		for i := range want {
+			for j := range want[i].Value {
+				if math.Float64bits(got[i].Value[j]) != math.Float64bits(want[i].Value[j]) {
+					t.Fatalf("precision %q: restored master weight %s[%d] = %v, want bit-identical %v",
+						prec, want[i].Name, j, got[i].Value[j], want[i].Value[j])
+				}
+			}
+		}
+		wantServe := prec
+		if wantServe == "" {
+			wantServe = "float64"
+		}
+		if got := dst.SnapshotInfo().Precision; got != wantServe {
+			t.Fatalf("restored system with ScorePrecision=%q serves %q, want %q", prec, got, wantServe)
+		}
+	}
+}

@@ -86,6 +86,9 @@ type (
 	// FusionStats reports the cross-request inference scheduler's cumulative
 	// fusion counters (see Config.FuseScoring and System.FusionStats).
 	FusionStats = sched.Stats
+	// SnapshotInfo describes the serving snapshot's scoring precision and
+	// memory footprint (see Config.ScorePrecision and System.SnapshotInfo).
+	SnapshotInfo = valuenet.SnapshotInfo
 )
 
 // Value and comparison-operator re-exports, so callers can build predicates
@@ -183,6 +186,15 @@ type Config struct {
 	// ValueNet overrides the value-network architecture (default: a small
 	// network structurally identical to the paper's).
 	ValueNet *ValueNetConfig
+	// ScorePrecision selects the numeric format the frozen serving snapshot
+	// scores plans with: "float64" (or "", the exact historical default),
+	// "float32" (packed tiled-GEMM inference kernels) or "int8" (symmetric
+	// per-channel quantization calibrated from recorded featurizations; it
+	// serves float32 until the experience holds calibration material).
+	// Training always runs in float64 and checkpoints always persist the
+	// float64 master weights — the conversion happens once per snapshot
+	// publication, inside the atomic swap. Open rejects unknown values.
+	ScorePrecision string
 	// Cost selects the optimisation objective (default WorkloadCost).
 	Cost core.CostFunction
 }
@@ -381,6 +393,11 @@ func Open(cfg Config) (*System, error) {
 	if cfg.ValueNet != nil {
 		coreCfg.ValueNet = *cfg.ValueNet
 	}
+	prec, err := valuenet.ParsePrecision(cfg.ScorePrecision)
+	if err != nil {
+		return nil, fmt.Errorf("neo: %w", err)
+	}
+	coreCfg.ScorePrecision = prec
 	n := core.New(eng, feat, coreCfg)
 
 	return &System{
@@ -498,6 +515,10 @@ func (s *System) PlanCacheStats() PlanCacheStats { return s.cache.stats() }
 // system was opened with Config.FuseScoring). Counters are monotonic across
 // retraining swaps. Safe for concurrent use.
 func (s *System) FusionStats() FusionStats { return s.Neo.FusionStats() }
+
+// SnapshotInfo reports the current serving snapshot's scoring precision and
+// memory footprint (see Config.ScorePrecision). Safe for concurrent use.
+func (s *System) SnapshotInfo() SnapshotInfo { return s.Neo.SnapshotInfo() }
 
 // Evaluate optimizes and executes every query over the configured worker
 // pool without adding anything to the experience (held-out evaluation). It

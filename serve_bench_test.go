@@ -14,15 +14,19 @@ import (
 // co-resident submissions fuse into shared passes and identical rows are
 // deduplicated and memoised over the same immutable weights. Fused and
 // private scoring are bit-identical per row (locked down by the sched, core
-// and serve test suites); the scheduler buys pure throughput. The committed
-// BENCH_serve.json baseline and CI's bench-gate enforce that fused serving
-// stays >= 1.5x over private.
+// and serve test suites); the scheduler buys pure throughput. The fused-f32
+// variant replays the same traffic against a float32 snapshot (the
+// neo-serve default), stacking the packed-panel GEMM kernels on top of
+// fusion. The committed BENCH_serve.json baseline and CI's bench-gate
+// enforce that fused serving stays >= 1.5x over private, float64 and
+// float32 alike.
 //
 // Verify the speedup with:
 //
 //	go test -bench BenchmarkFusedServing -run '^$' .
 func BenchmarkFusedServing(b *testing.B) {
-	private, fused := bench.ServingBenchmarks()
+	private, fused, fusedF32 := bench.ServingBenchmarks()
 	b.Run("private", private)
 	b.Run("fused", fused)
+	b.Run("fused-f32", fusedF32)
 }
