@@ -94,36 +94,54 @@ func main() {
 	fmt.Println("benchmark gate: all checks passed")
 }
 
+// ratioPair is one hardware-independent speedup invariant: fast must beat
+// slow by at least floor (0 = use the -speedup-floor flag).
+type ratioPair struct {
+	slow, fast string
+	floor      float64
+}
+
 // ratioChecks verifies the hardware-independent speedup invariants inside a
 // freshly measured suite.
-func ratioChecks(s bench.Suite, floor float64) []string {
-	pairs := map[string][][2]string{
+func ratioChecks(s bench.Suite, defaultFloor float64) []string {
+	pairs := map[string][]ratioPair{
 		"score": {
-			{"scoring/sequential", "scoring/batched"},
+			{slow: "scoring/sequential", fast: "scoring/batched"},
 			// The packed float32 kernels must beat the batched float64 path
 			// on the machine the gate runs on. int8 gets a baseline entry but
 			// no ratio floor: its win over f32 is footprint and memory
 			// bandwidth, which a single-core CI runner does not reward.
-			{"scoring/batched", "scoring/f32"},
+			{slow: "scoring/batched", fast: "scoring/f32"},
 		},
-		"train": {{"training/per-sample", "training/batched"}},
+		"train": {{slow: "training/per-sample", fast: "training/batched"}},
 		"serve": {
-			{"serving/private", "serving/fused"},
-			{"serving/private", "serving/fused-f32"},
+			{slow: "serving/private", fast: "serving/fused"},
+			{slow: "serving/private", fast: "serving/fused-f32"},
 		},
+		// The buffer-pool page-miss penalty carries its own floor: hot hits
+		// are in-memory map lookups while cold reads go through pread, so a
+		// 2x gap survives any reasonable runner — but the pair must not be
+		// held to the batched-scoring default, which measures a different
+		// phenomenon. exec/disk-{cold,hot} (whole plans) get baselines only:
+		// join compute dominates their page faults at benchmark scale.
+		"exec": {{slow: "exec/pool-cold", fast: "exec/pool-hot", floor: 2.0}},
 	}[s.Suite]
 	var problems []string
 	for _, p := range pairs {
-		speedup, err := bench.Speedup(s, p[0], p[1])
+		floor := p.floor
+		if floor == 0 {
+			floor = defaultFloor
+		}
+		speedup, err := bench.Speedup(s, p.slow, p.fast)
 		if err != nil {
 			problems = append(problems, err.Error())
 			continue
 		}
 		if speedup < floor {
 			problems = append(problems, fmt.Sprintf(
-				"%s is only %.2fx faster than %s, want >= %.2fx", p[1], speedup, p[0], floor))
+				"%s is only %.2fx faster than %s, want >= %.2fx", p.fast, speedup, p.slow, floor))
 		} else {
-			fmt.Printf("  %s: %.2fx faster than %s (floor %.2fx)\n", p[1], speedup, p[0], floor)
+			fmt.Printf("  %s: %.2fx faster than %s (floor %.2fx)\n", p.fast, speedup, p.slow, floor)
 		}
 	}
 	return problems

@@ -6,14 +6,21 @@
 //
 //	neo-datagen -dataset imdb -scale 1.0
 //	neo-datagen -dataset corp -queries 5
+//	neo-datagen -dataset imdb -scale 0.4 -out data/imdb
+//
+// With -out the generated tables are also materialized as slotted-page heap
+// files in the given directory, ready for the disk execution engine (`neo
+// -engine disk -data-dir <dir>`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"neo/internal/datagen"
+	"neo/internal/storage"
 	"neo/internal/workload"
 )
 
@@ -23,6 +30,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "scale factor")
 		seed    = flag.Int64("seed", 42, "random seed")
 		queries = flag.Int("queries", 3, "print this many sample workload queries")
+		out     = flag.String("out", "", "materialize the tables as heap files into this directory (for -engine disk)")
 	)
 	flag.Parse()
 
@@ -37,6 +45,28 @@ func main() {
 		fmt.Printf("%-18s %10d %10d\n", t.Name, db.Table(t.Name).NumRows(), len(t.Columns))
 	}
 	fmt.Printf("\nforeign keys: %d, secondary indexes: %d\n", len(db.Catalog.ForeignKeys()), len(db.Catalog.Indexes()))
+
+	if *out != "" {
+		if err := storage.Materialize(db, *out); err != nil {
+			fatal(err)
+		}
+		var bytes int64
+		for _, t := range db.Catalog.Tables() {
+			info, err := os.Stat(storage.HeapFileName(*out, t.Name))
+			if err != nil {
+				fatal(err)
+			}
+			bytes += info.Size()
+		}
+		abs, err := filepath.Abs(*out)
+		if err != nil {
+			abs = *out
+		}
+		fmt.Printf("\nmaterialized %d heap files (%.2f MB on disk) into %s\n",
+			len(db.Catalog.Tables()), float64(bytes)/(1024*1024), abs)
+		fmt.Printf("run them with: neo -engine disk -data-dir %s -dataset %s -scale %g -seed %d\n",
+			*out, *dataset, *scale, *seed)
+	}
 
 	if *queries > 0 {
 		var wl *workload.Workload

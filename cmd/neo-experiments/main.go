@@ -26,7 +26,8 @@ func main() {
 		episodes     = flag.Int("episodes", 0, "override the number of training episodes")
 		scale        = flag.Float64("scale", 0, "override the synthetic data scale factor")
 		seed         = flag.Int64("seed", 0, "override the random seed")
-		engines      = flag.String("engines", "", "comma-separated engine subset (postgres,sqlite,engine-m,engine-o)")
+		engines      = flag.String("engines", "", "comma-separated engine subset (postgres,sqlite,engine-m,engine-o,disk)")
+		bufferPoolMB = flag.Int("buffer-pool-mb", 0, "disk engine buffer-pool size in MiB (0 = default 16)")
 		workloads    = flag.String("workloads", "", "comma-separated workload subset (job,tpch,corp)")
 		workers      = flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS, negative = serial; results are identical either way unless cardinality-error injection is enabled)")
 		trainWorkers = flag.Int("train-workers", 0, "gradient worker-pool size for value-network training (0 = GOMAXPROCS, negative = serial; trained weights are bit-identical for every worker count)")
@@ -57,6 +58,7 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.TrainWorkers = *trainWorkers
+	cfg.BufferPoolMB = *bufferPoolMB
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

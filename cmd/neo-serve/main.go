@@ -34,7 +34,9 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "HTTP listen address")
 		dataset      = flag.String("dataset", "imdb", "synthetic dataset: imdb, tpch or corp")
-		engineName   = flag.String("engine", "postgres", "simulated engine: postgres, sqlite, engine-m or engine-o")
+		engineName   = flag.String("engine", "postgres", "execution engine: postgres, sqlite, engine-m, engine-o (simulated) or disk (heap files + buffer pool, measured wall-clock latencies)")
+		bufferPoolMB = flag.Int("buffer-pool-mb", 0, "disk engine buffer-pool size in MiB (0 = default 16)")
+		dataDir      = flag.String("data-dir", "", "disk engine data directory holding the heap files (empty = fresh temp dir; pre-materialize with neo-datagen -out)")
 		encoding     = flag.String("encoding", "r-vector", "featurization: 1-hot, histogram, r-vector, r-vector-nojoins")
 		scale        = flag.Float64("scale", 0.4, "synthetic data scale factor")
 		seed         = flag.Int64("seed", 42, "random seed")
@@ -57,6 +59,8 @@ func main() {
 	sys, err := neo.Open(neo.Config{
 		Dataset:          *dataset,
 		Engine:           *engineName,
+		DataDir:          *dataDir,
+		BufferPoolMB:     *bufferPoolMB,
 		Encoding:         neo.Encoding(*encoding),
 		Scale:            *scale,
 		Seed:             *seed,
@@ -125,6 +129,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "neo-serve: shutdown:", err)
 	}
 	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	if err := sys.Close(); err != nil {
 		fatal(err)
 	}
 	if *ckpt != "" {

@@ -1,12 +1,14 @@
 // Command neo is an end-to-end demonstration of the learned optimizer: it
-// assembles a synthetic database and a simulated engine, bootstraps Neo from
-// the PostgreSQL-profile expert, refines it for a few episodes, and prints a
-// per-query comparison against the engine's native optimizer.
+// assembles a synthetic database and an execution engine (simulated cost
+// model or disk-backed), bootstraps Neo from the PostgreSQL-profile expert,
+// refines it for a few episodes, and prints a per-query comparison against
+// the engine's native optimizer.
 //
 // Usage:
 //
 //	neo -dataset imdb -engine postgres -episodes 10 -queries 30
 //	neo -dataset corp -engine engine-m -encoding histogram
+//	neo -dataset imdb -engine disk -buffer-pool-mb 32 -episodes 4
 package main
 
 import (
@@ -20,7 +22,9 @@ import (
 func main() {
 	var (
 		dataset      = flag.String("dataset", "imdb", "synthetic dataset: imdb, tpch or corp")
-		engineName   = flag.String("engine", "postgres", "simulated engine: postgres, sqlite, engine-m or engine-o")
+		engineName   = flag.String("engine", "postgres", "execution engine: postgres, sqlite, engine-m, engine-o (simulated) or disk (heap files + buffer pool, measured wall-clock latencies)")
+		bufferPoolMB = flag.Int("buffer-pool-mb", 0, "disk engine buffer-pool size in MiB (0 = default 16)")
+		dataDir      = flag.String("data-dir", "", "disk engine data directory holding the heap files (empty = fresh temp dir; pre-materialize with neo-datagen -out)")
 		encoding     = flag.String("encoding", "r-vector", "featurization: 1-hot, histogram, r-vector, r-vector-nojoins")
 		episodes     = flag.Int("episodes", 8, "refinement episodes after bootstrapping")
 		queries      = flag.Int("queries", 24, "number of workload queries to generate")
@@ -40,6 +44,8 @@ func main() {
 	sys, err := neo.Open(neo.Config{
 		Dataset:        *dataset,
 		Engine:         *engineName,
+		DataDir:        *dataDir,
+		BufferPoolMB:   *bufferPoolMB,
 		Encoding:       neo.Encoding(*encoding),
 		Scale:          *scale,
 		Seed:           *seed,
@@ -91,7 +97,11 @@ func main() {
 		fmt.Printf("checkpoint written to %s\n", *save)
 	}
 
-	fmt.Println("\nheld-out test queries (latencies in simulated ms):")
+	unit := "simulated"
+	if *engineName == "disk" {
+		unit = "measured"
+	}
+	fmt.Printf("\nheld-out test queries (latencies in %s ms):\n", unit)
 	fmt.Printf("%-14s %12s %12s %9s\n", "query", "neo", "native", "neo/native")
 	var neoTotal, nativeTotal float64
 	for _, q := range test {
@@ -104,6 +114,12 @@ func main() {
 		fmt.Printf("%-14s %12.2f %12.2f %9.2f\n", q.ID, neoLat, nativeLat, neoLat/nativeLat)
 	}
 	fmt.Printf("%-14s %12.2f %12.2f %9.2f\n", "TOTAL", neoTotal, nativeTotal, neoTotal/nativeTotal)
+	if st, ok := sys.StorageStats(); ok {
+		fmt.Printf("\nstorage: %s\n", st.String())
+	}
+	if err := sys.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

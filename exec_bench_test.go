@@ -1,0 +1,29 @@
+package repro
+
+import (
+	"testing"
+
+	"neo/internal/bench"
+)
+
+// BenchmarkDiskExecution measures the disk execution backend: a page sweep
+// over every heap file through a cold buffer pool (every access faults to
+// disk) versus a warm one (every access is a map hit), and a fixed set of
+// expert-chosen JOB plans run end-to-end through the disk executor under the
+// same cold/hot treatment. The pool pair is the page-miss penalty — the
+// storage effect the disk backend's measured-latency experience signal
+// carries and the simulated cost models cannot price; the committed
+// BENCH_exec.json baseline and CI's bench-gate enforce that the cold/hot
+// pool gap stays >= 2x.
+//
+// Verify the gap with:
+//
+//	go test -bench BenchmarkDiskExecution -run '^$' .
+func BenchmarkDiskExecution(b *testing.B) {
+	poolCold, poolHot, diskCold, diskHot, cleanup := bench.ExecBenchmarks()
+	defer cleanup()
+	b.Run("pool-cold", poolCold)
+	b.Run("pool-hot", poolHot)
+	b.Run("disk-cold", diskCold)
+	b.Run("disk-hot", diskHot)
+}

@@ -43,7 +43,7 @@ type Suite struct {
 }
 
 // Names lists the available suites in run order.
-func Names() []string { return []string{"score", "train", "episode", "serve"} }
+func Names() []string { return []string{"score", "train", "episode", "serve", "exec"} }
 
 // Run executes one suite by name.
 func Run(name string) (Suite, error) {
@@ -56,6 +56,8 @@ func Run(name string) (Suite, error) {
 		return Episode(), nil
 	case "serve":
 		return Serving(), nil
+	case "exec":
+		return Exec(), nil
 	default:
 		return Suite{}, fmt.Errorf("bench: unknown suite %q (have %v)", name, Names())
 	}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"neo/internal/datagen"
+	"neo/internal/engine"
+	"neo/internal/executor"
+	"neo/internal/expert"
+	"neo/internal/plan"
+	"neo/internal/stats"
+	"neo/internal/storage"
+	"neo/internal/workload"
+)
+
+// Exec measures the disk execution backend at two granularities.
+//
+// exec/pool-cold versus exec/pool-hot is the buffer-pool pair the gate
+// ratio-checks: one sweep over every heap page of the database, against a
+// pool reset before each sweep (every access faults to the heap file) and
+// against a warm pool (every access is a map hit). The ratio is the page-miss
+// penalty — the storage effect the measured-latency experience signal carries
+// and no simulated cost model prices.
+//
+// exec/disk-cold versus exec/disk-hot runs a fixed set of expert-chosen JOB
+// plans end-to-end through the disk executor under the same cold/hot pool
+// treatment. At benchmark scale join compute dominates the handful of page
+// faults, so the pair gets a committed baseline (regression gate) but no
+// ratio floor.
+func Exec() Suite {
+	poolCold, poolHot, diskCold, diskHot, cleanup := ExecBenchmarks()
+	defer cleanup()
+	return Suite{Suite: "exec", Benchmarks: []Result{
+		measure("exec/pool-cold", poolCold),
+		measure("exec/pool-hot", poolHot),
+		measure("exec/disk-cold", diskCold),
+		measure("exec/disk-hot", diskHot),
+	}}
+}
+
+// ExecBenchmarks materializes the benchmark database to a temporary
+// directory and returns the four disk-backend benchmark bodies (see Exec)
+// plus a cleanup releasing the heap files. The root exec_bench_test.go
+// exposes the same bodies through `go test -bench`.
+func ExecBenchmarks() (poolCold, poolHot, diskCold, diskHot func(*testing.B), cleanup func()) {
+	db, err := datagen.Generate(datagen.Profile("imdb"), datagen.Config{Scale: 0.4, Seed: 17})
+	if err != nil {
+		panic(fmt.Sprintf("bench: exec fixture: %v", err))
+	}
+	st, err := stats.Build(db)
+	if err != nil {
+		panic(fmt.Sprintf("bench: exec stats: %v", err))
+	}
+	opt := expert.NativeOptimizer(engine.New(engine.PostgreSQLProfile(), db), st, db.Catalog)
+	wl, err := workload.JOB(db, 6, 17)
+	if err != nil {
+		panic(fmt.Sprintf("bench: exec workload: %v", err))
+	}
+	var plans []*plan.Plan
+	for _, q := range wl.Queries {
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			panic(fmt.Sprintf("bench: exec plan %s: %v", q.ID, err))
+		}
+		plans = append(plans, p)
+	}
+
+	dir, err := os.MkdirTemp("", "neo-bench-exec-")
+	if err != nil {
+		panic(fmt.Sprintf("bench: exec tempdir: %v", err))
+	}
+	if err := storage.Materialize(db, dir); err != nil {
+		os.RemoveAll(dir)
+		panic(fmt.Sprintf("bench: exec materialize: %v", err))
+	}
+	ddb, err := storage.OpenDisk(dir, db.Catalog, storage.PagesForMB(4))
+	if err != nil {
+		os.RemoveAll(dir)
+		panic(fmt.Sprintf("bench: exec open: %v", err))
+	}
+	cleanup = func() {
+		ddb.Close()
+		os.RemoveAll(dir)
+	}
+	exec := executor.NewDisk(ddb)
+	sweep := func(b *testing.B) {
+		for _, p := range plans {
+			if _, err := exec.Execute(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	pageSweep := func(b *testing.B) {
+		for _, ts := range db.Catalog.Tables() {
+			t := ddb.Table(ts.Name)
+			for pg := int32(0); pg < t.Heap.NumPages(); pg++ {
+				if _, err := ddb.Pool.Get(t.Heap, pg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	poolCold = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ddb.Pool.Reset()
+			pageSweep(b)
+		}
+	}
+	poolHot = func(b *testing.B) {
+		b.ReportAllocs()
+		ddb.Pool.Reset()
+		pageSweep(b) // warm: the 4 MiB pool holds the whole database
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pageSweep(b)
+		}
+	}
+	diskCold = func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ddb.Pool.Reset()
+			sweep(b)
+		}
+	}
+	diskHot = func(b *testing.B) {
+		b.ReportAllocs()
+		sweep(b) // warm the pool; capacity exceeds the working set
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b)
+		}
+	}
+	return poolCold, poolHot, diskCold, diskHot, cleanup
+}

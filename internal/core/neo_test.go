@@ -332,7 +332,7 @@ func TestNeoCompetitiveWithExpertAfterTraining(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := rig.eng.Exec.Execute(p)
+		res, err := rig.eng.Executor().Execute(p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -113,14 +113,31 @@ func EngineOProfile() Profile {
 	}
 }
 
-// Profiles returns all four engine profiles in the order the paper reports
-// them (PostgreSQL, SQLite, commercial M, commercial O).
+// DiskProfile is the cost profile paired with the disk backend. Execution
+// latency is measured, not simulated, so NoiseFraction is zero (Commit adds
+// nothing either way on a measured backend); the operator coefficients still
+// matter because the classical optimizers plan with this cost model before
+// the disk backend runs the winner.
+func DiskProfile() Profile {
+	p := PostgreSQLProfile()
+	p.Name = "disk"
+	p.NoiseFraction = 0
+	return p
+}
+
+// Profiles returns the four simulated engine profiles in the order the paper
+// reports them (PostgreSQL, SQLite, commercial M, commercial O). The disk
+// profile is deliberately absent: it is not a simulated engine, and the
+// experiment harness iterates this list when comparing simulators.
 func Profiles() []Profile {
 	return []Profile{PostgreSQLProfile(), SQLiteProfile(), EngineMProfile(), EngineOProfile()}
 }
 
 // ProfileByName returns the named profile.
 func ProfileByName(name string) (Profile, error) {
+	if name == "disk" {
+		return DiskProfile(), nil
+	}
 	for _, p := range Profiles() {
 		if p.Name == name {
 			return p, nil
@@ -129,27 +146,49 @@ func ProfileByName(name string) (Profile, error) {
 	return Profile{}, fmt.Errorf("engine: unknown profile %q", name)
 }
 
-// Engine is a simulated execution engine bound to a database.
+// Engine is an execution engine bound to a database through a pluggable
+// ExecutionBackend. With the default SimBackend it is the simulated engine
+// the cost profiles describe; with a DiskBackend the same Engine surface
+// feeds measured wall-clock latencies into the learning loop.
 type Engine struct {
 	Profile Profile
-	Exec    *executor.Executor
+	Backend ExecutionBackend
 
 	mu  sync.Mutex
 	rng *rand.Rand
 	// executions counts how many plans the engine has executed; used for
 	// wall-clock accounting in the training-time experiment.
 	executions int
-	// simulatedMS accumulates total simulated execution time.
+	// simulatedMS accumulates total (simulated or measured) execution time.
 	simulatedMS float64
 }
 
-// New creates an engine with the given profile over the given database.
+// New creates an engine with the given profile over the given in-memory
+// database, backed by the simulated executor.
 func New(profile Profile, db *storage.Database) *Engine {
+	return NewWithBackend(profile, NewSimBackend(profile, db))
+}
+
+// NewWithBackend creates an engine over an arbitrary execution backend. The
+// profile still defines the engine's cost model (CostResult), which the
+// classical optimizers use for planning even when execution is measured.
+func NewWithBackend(profile Profile, backend ExecutionBackend) *Engine {
 	return &Engine{
 		Profile: profile,
-		Exec:    executor.New(db),
+		Backend: backend,
 		rng:     rand.New(rand.NewSource(int64(len(profile.Name)) * 7919)),
 	}
+}
+
+// Executor returns the in-memory executor when the engine runs on the
+// simulated backend, and nil otherwise. Callers that need a physical
+// executor regardless of backend (selectivity probing, true-cardinality
+// counting) should construct their own from the database.
+func (e *Engine) Executor() *executor.Executor {
+	if sb, ok := e.Backend.(*SimBackend); ok {
+		return sb.Exec
+	}
+	return nil
 }
 
 // Execute runs a complete plan and returns its simulated latency in
@@ -163,19 +202,17 @@ func (e *Engine) Execute(p *plan.Plan) (float64, *executor.Result, error) {
 	return e.Commit(base), res, nil
 }
 
-// Simulate runs a complete plan and prices it deterministically, without
-// drawing run-to-run noise or touching the engine's execution accounting.
-// It only reads shared state, so any number of goroutines may Simulate
-// concurrently; pair each call with a later Commit to obtain the final
-// latency. Splitting execution this way lets a parallel episode pipeline
-// fan the expensive executor work out over workers while still drawing the
-// engine's noise stream in a deterministic order.
+// Simulate runs a complete plan on the backend and returns its base latency,
+// without drawing run-to-run noise or touching the engine's execution
+// accounting. It only reads shared engine state, so any number of goroutines
+// may Simulate concurrently; pair each call with a later Commit to obtain
+// the final latency. Splitting execution this way lets a parallel episode
+// pipeline fan the expensive executor work out over workers while still
+// drawing the engine's noise stream in a deterministic order. (On a measured
+// backend "Simulate" is a real execution and the base latency is wall-clock
+// time; the split still holds because Commit adds nothing to it.)
 func (e *Engine) Simulate(p *plan.Plan) (float64, *executor.Result, error) {
-	res, err := e.Exec.Execute(p)
-	if err != nil {
-		return 0, nil, err
-	}
-	return e.CostResult(p.Roots[0], res.Nodes), res, nil
+	return e.Backend.Run(p)
 }
 
 // Commit applies run-to-run noise to a latency returned by Simulate and
@@ -183,12 +220,20 @@ func (e *Engine) Simulate(p *plan.Plan) (float64, *executor.Result, error) {
 // engine-wide stream in Commit order, so callers that commit in a fixed
 // order get bit-identical latencies regardless of how the preceding
 // Simulate calls were scheduled.
+//
+// On a measured backend the latency already contains real run-to-run
+// variation, so no noise is applied — and no random draw is consumed, which
+// keeps the noise stream's determinism contract intact if backends are ever
+// mixed.
 func (e *Engine) Commit(base float64) float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	noise := 1.0 + (e.rng.Float64()*2-1)*e.Profile.NoiseFraction
+	lat := base
+	if !e.Backend.Measured() {
+		noise := 1.0 + (e.rng.Float64()*2-1)*e.Profile.NoiseFraction
+		lat = base * noise
+	}
 	e.executions++
-	lat := base * noise
 	e.simulatedMS += lat
 	return lat
 }
@@ -207,18 +252,26 @@ func (e *Engine) SimulatedTimeMS() float64 {
 	return e.simulatedMS
 }
 
+// CostResult prices an executed (or estimated) plan with the engine's
+// profile. Kept as an Engine method because the classical optimizers cost
+// candidate plans through their engine handle regardless of which backend
+// executes the winner.
+func (e *Engine) CostResult(root *plan.Node, nodes map[*plan.Node]*executor.NodeStats) float64 {
+	return e.Profile.CostResult(root, nodes)
+}
+
 // CostResult prices an executed (or estimated) plan: given the root node and
 // per-node statistics, it returns the deterministic simulated latency in
 // milliseconds (no noise). The same function serves both real execution
 // results and the estimated statistics produced by the classical optimizers,
 // which is exactly how a traditional cost-based optimizer uses its model.
-func (e *Engine) CostResult(root *plan.Node, nodes map[*plan.Node]*executor.NodeStats) float64 {
-	work := e.nodeCost(root, nodes)
-	return work/e.Profile.Parallelism*e.Profile.CostScale + e.Profile.BaseLatencyMS
+func (p Profile) CostResult(root *plan.Node, nodes map[*plan.Node]*executor.NodeStats) float64 {
+	work := p.nodeCost(root, nodes)
+	return work/p.Parallelism*p.CostScale + p.BaseLatencyMS
 }
 
 // nodeCost recursively prices the subtree rooted at n in work units.
-func (e *Engine) nodeCost(n *plan.Node, nodes map[*plan.Node]*executor.NodeStats) float64 {
+func (p Profile) nodeCost(n *plan.Node, nodes map[*plan.Node]*executor.NodeStats) float64 {
 	if n == nil {
 		return 0
 	}
@@ -226,17 +279,16 @@ func (e *Engine) nodeCost(n *plan.Node, nodes map[*plan.Node]*executor.NodeStats
 	if ns == nil {
 		return 0
 	}
-	p := e.Profile
 	if n.IsLeaf() {
-		return e.scanCost(n, ns)
+		return p.scanCost(n, ns)
 	}
 
 	out := p.OutputRowCost * ns.OutputRows
-	left := e.nodeCost(n.Left, nodes)
+	left := p.nodeCost(n.Left, nodes)
 
 	switch n.Join {
 	case plan.HashJoin:
-		right := e.nodeCost(n.Right, nodes)
+		right := p.nodeCost(n.Right, nodes)
 		cost := p.HashBuildCost*ns.RightRows + p.HashProbeCost*ns.LeftRows
 		if ns.RightRows > p.MemoryRows {
 			cost *= p.SpillFactor
@@ -246,7 +298,7 @@ func (e *Engine) nodeCost(n *plan.Node, nodes map[*plan.Node]*executor.NodeStats
 		}
 		return left + right + cost + out
 	case plan.MergeJoin:
-		right := e.nodeCost(n.Right, nodes)
+		right := p.nodeCost(n.Right, nodes)
 		cost := p.MergeRowCost * (ns.LeftRows + ns.RightRows)
 		if !ns.LeftSorted {
 			cost += sortCost(p, ns.LeftRows)
@@ -271,14 +323,13 @@ func (e *Engine) nodeCost(n *plan.Node, nodes map[*plan.Node]*executor.NodeStats
 			cost := ns.LeftRows*p.IdxLookupCost*math.Log2(innerBase+2) + p.IdxRowCost*ns.OutputRows
 			return left + cost + out
 		}
-		right := e.nodeCost(n.Right, nodes)
+		right := p.nodeCost(n.Right, nodes)
 		cost := p.LoopRowCost * math.Max(ns.LeftRows, 1) * math.Max(ns.RightRows, 1)
 		return left + right + cost + out
 	}
 }
 
-func (e *Engine) scanCost(n *plan.Node, ns *executor.NodeStats) float64 {
-	p := e.Profile
+func (p Profile) scanCost(n *plan.Node, ns *executor.NodeStats) float64 {
 	switch n.Scan {
 	case plan.IndexScan:
 		if ns.IndexOnPredicate {

@@ -130,7 +130,7 @@ func TestCostResultDeterministicAndNoiseBounded(t *testing.T) {
 	q := loveQuery()
 	e := New(PostgreSQLProfile(), db)
 	p := goodPlan(q)
-	res, err := e.Exec.Execute(p)
+	res, err := e.Executor().Execute(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestMergeJoinBenefitsFromSortedInput(t *testing.T) {
 		plan.Join2(plan.MergeJoin, plan.Leaf("movie_keyword", plan.TableScan), plan.Leaf("title", plan.TableScan)),
 	}}
 	e := New(EngineOProfile(), db)
-	res, err := e.Exec.Execute(p)
+	res, err := e.Executor().Execute(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,8 +220,8 @@ func TestEnginesRankPlansDifferently(t *testing.T) {
 	}}
 	ratio := func(prof Profile) float64 {
 		e := New(prof, db)
-		hres, _ := e.Exec.Execute(hash)
-		ires, _ := e.Exec.Execute(inl)
+		hres, _ := e.Executor().Execute(hash)
+		ires, _ := e.Executor().Execute(inl)
 		return e.CostResult(hash.Roots[0], hres.Nodes) / e.CostResult(inl.Roots[0], ires.Nodes)
 	}
 	sqliteRatio := ratio(SQLiteProfile())
@@ -275,5 +275,76 @@ func TestSimulateCommitMatchesExecute(t *testing.T) {
 	}
 	if direct.Executions() != before {
 		t.Errorf("Simulate must not count as an execution")
+	}
+}
+
+// fixedBackend is a measured test double: Run returns a canned latency.
+type fixedBackend struct{ lat float64 }
+
+func (f *fixedBackend) Name() string   { return "fixed" }
+func (f *fixedBackend) Measured() bool { return true }
+func (f *fixedBackend) Run(p *plan.Plan) (float64, *executor.Result, error) {
+	return f.lat, &executor.Result{}, nil
+}
+
+func TestCommitBypassesNoiseForMeasuredBackends(t *testing.T) {
+	// A measured backend's latencies are real: Commit must return them
+	// unchanged and must not consume the engine's noise stream, so a sim
+	// engine created with the same profile keeps its exact noise sequence
+	// regardless of interleaved measured commits.
+	prof := PostgreSQLProfile()
+	if prof.NoiseFraction == 0 {
+		t.Fatal("test needs a noisy profile")
+	}
+	measured := NewWithBackend(prof, &fixedBackend{lat: 42.5})
+	for i := 0; i < 8; i++ {
+		base, _, err := measured.Simulate(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat := measured.Commit(base); lat != 42.5 {
+			t.Fatalf("iteration %d: Commit perturbed a measured latency: %v", i, lat)
+		}
+	}
+	if measured.Executions() != 8 {
+		t.Errorf("measured commits must still count executions: %d", measured.Executions())
+	}
+
+	// Two sim engines, one interleaving measured-engine traffic: identical
+	// noise draws (the measured engine has its own rng, and measured commits
+	// would not draw from it anyway).
+	db := imdb(t)
+	q := loveQuery()
+	p := goodPlan(q)
+	ref := New(prof, db)
+	mixed := New(prof, db)
+	for i := 0; i < 5; i++ {
+		rLat, _, err := ref.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured.Commit(42.5)
+		mLat, _, err := mixed.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rLat != mLat {
+			t.Errorf("iteration %d: noise streams diverged: %v vs %v", i, rLat, mLat)
+		}
+	}
+
+	// DiskProfile is the measured backend's profile: zero noise by
+	// construction, resolvable by name, absent from the sim profile list.
+	dp, err := ProfileByName("disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.NoiseFraction != 0 {
+		t.Errorf("disk profile must be noise-free: %v", dp.NoiseFraction)
+	}
+	for _, p := range Profiles() {
+		if p.Name == "disk" {
+			t.Errorf("Profiles() must list only the simulated engines")
+		}
 	}
 }

@@ -1,0 +1,832 @@
+// Disk execution: a Volcano-style iterator family (sequential scan, index
+// scan, filter, hash join, merge join, index-nested-loop join) that runs
+// complete plans against slotted heap files through a buffer pool. Unlike
+// the in-memory Executor — which evaluates every join with a hash table and
+// only *records* the chosen operator for the cost models — the disk executor
+// physically executes the operator the plan names, so the wall-clock latency
+// the engine measures around Execute reflects the plan's actual access
+// pattern (page residency included).
+//
+// Semantics deliberately mirror the in-memory executor so the two backends
+// are cardinality-for-cardinality interchangeable: the first join predicate
+// between two inputs drives the physical join and any further predicates are
+// applied as filters; scan output inherits the clustered (primary-key)
+// ordering; merge-join output is sorted on the join key; NodeStats fields
+// are computed by the same rules. The one documented divergence is the inner
+// leaf of an index-nested-loop join: the whole point of INL is to not scan
+// the inner table, so that leaf's OutputRows counts tuples actually fetched
+// through the index rather than the full filtered table.
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/storage"
+)
+
+// DiskMaxRows is the default per-operator row budget of the disk executor.
+// It is a runaway-plan safety net, not a sampling cap: when an operator
+// exceeds it the query stops early and the Result is marked Truncated. It is
+// set far above anything the bundled workloads produce.
+const DiskMaxRows = 1 << 20
+
+// errTruncated aborts the drain when an operator exceeds its row budget.
+var errTruncated = fmt.Errorf("executor: disk operator exceeded its row budget")
+
+// dtuple is one decoded base-table tuple.
+type dtuple []storage.Value
+
+// drow is a composite row: one decoded tuple per contributing base table,
+// in slot order (left subtree tables, then right subtree tables).
+type drow []dtuple
+
+// dinfo describes the static shape of an operator's output stream: which
+// base tables fill which slots and which column, if any, the stream is
+// sorted on. It matches the in-memory executor's relation metadata.
+type dinfo struct {
+	tables []string
+	slot   map[string]int
+	sorted *schema0
+}
+
+func newDinfo(tables []string) *dinfo {
+	d := &dinfo{tables: tables, slot: make(map[string]int, len(tables))}
+	for i, t := range tables {
+		d.slot[t] = i
+	}
+	return d
+}
+
+// diskIter is the Volcano iterator contract. Next returns (row, true, nil)
+// per row and (nil, false, nil) at end of stream. Rows() reports how many
+// rows Next has produced so far.
+type diskIter interface {
+	Open() error
+	Next() (drow, bool, error)
+	Close() error
+	Rows() int64
+}
+
+// DiskExecutor executes complete plans against a disk database.
+type DiskExecutor struct {
+	db *storage.DiskDB
+	// MaxRows is the per-operator row budget (see DiskMaxRows).
+	MaxRows int
+}
+
+// NewDisk creates a disk executor over the given disk database.
+func NewDisk(db *storage.DiskDB) *DiskExecutor {
+	return &DiskExecutor{db: db, MaxRows: DiskMaxRows}
+}
+
+// DB returns the underlying disk database.
+func (e *DiskExecutor) DB() *storage.DiskDB { return e.db }
+
+func (e *DiskExecutor) maxRows() int {
+	if e.MaxRows > 0 {
+		return e.MaxRows
+	}
+	return DiskMaxRows
+}
+
+// dnode pairs one plan node with its iterator and statistics.
+type dnode struct {
+	node  *plan.Node
+	it    diskIter
+	info  *dinfo
+	ns    *NodeStats
+	left  *dnode
+	right *dnode
+}
+
+// Execute runs a complete plan through the iterator tree and returns the
+// same per-node statistics the in-memory executor produces.
+func (e *DiskExecutor) Execute(p *plan.Plan) (*Result, error) {
+	if !p.IsComplete() {
+		return nil, fmt.Errorf("executor: plan for query %s is not complete: %s", p.Query.ID, p)
+	}
+	res := &Result{Root: p.Roots[0], Nodes: make(map[*plan.Node]*NodeStats)}
+	root, err := e.buildNode(p.Roots[0], p.Query, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := root.it.Open(); err != nil {
+		return nil, err
+	}
+	truncated := false
+	for {
+		_, ok, err := root.it.Next()
+		if err == errTruncated {
+			truncated = true
+			break
+		}
+		if err != nil {
+			root.it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := root.it.Close(); err != nil {
+		return nil, err
+	}
+	finishStats(root)
+	res.OutputRows = float64(root.it.Rows())
+	res.Truncated = truncated
+	for _, ns := range res.Nodes {
+		res.TotalIntermediateRows += ns.OutputRows
+	}
+	return res, nil
+}
+
+// finishStats copies the drained row counters into the NodeStats tree.
+func finishStats(d *dnode) {
+	if _, isINL := d.it.(*inlJoinIter); isINL {
+		// The INL iterator filled the inner leaf's stats in Close (its scan
+		// iterator never ran); only the outer subtree is drained normally.
+		finishStats(d.left)
+		d.ns.LeftRows = d.left.ns.OutputRows
+		d.ns.RightRows = d.right.ns.OutputRows
+		d.ns.OutputRows = float64(d.it.Rows())
+		return
+	}
+	if d.left != nil {
+		finishStats(d.left)
+		finishStats(d.right)
+		d.ns.LeftRows = d.left.ns.OutputRows
+		d.ns.RightRows = d.right.ns.OutputRows
+	}
+	d.ns.OutputRows = float64(d.it.Rows())
+	if d.node.IsLeaf() && d.ns.BaseRows > 0 {
+		d.ns.Selectivity = d.ns.OutputRows / d.ns.BaseRows
+	}
+}
+
+func (e *DiskExecutor) buildNode(n *plan.Node, q *query.Query, res *Result) (*dnode, error) {
+	if n.IsLeaf() {
+		return e.buildScan(n, q, res)
+	}
+	left, err := e.buildNode(n.Left, q, res)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.buildNode(n.Right, q, res)
+	if err != nil {
+		return nil, err
+	}
+	return e.buildJoin(n, q, left, right, res)
+}
+
+// buildScan plans a leaf: an index scan when the plan asks for one and an
+// equality predicate hits an indexed column, a sequential scan otherwise,
+// either one wrapped in a filter for the remaining predicates.
+func (e *DiskExecutor) buildScan(n *plan.Node, q *query.Query, res *Result) (*dnode, error) {
+	t := e.db.Table(n.Table)
+	if t == nil {
+		return nil, fmt.Errorf("executor: unknown table %q", n.Table)
+	}
+	preds := q.PredicatesOn(n.Table)
+	colPos := make([]int, len(preds))
+	for i, p := range preds {
+		if colPos[i] = t.Schema.ColumnIndex(p.Column); colPos[i] < 0 {
+			return nil, fmt.Errorf("executor: unknown column %s.%s", p.Table, p.Column)
+		}
+	}
+
+	ns := &NodeStats{BaseRows: float64(t.NumRows())}
+	for _, p := range preds {
+		if p.Op == query.Eq && e.db.Catalog.HasIndex(p.Table, p.Column) {
+			ns.IndexOnPredicate = true
+		}
+	}
+	res.Nodes[n] = ns
+
+	// Pick the access path.
+	var base diskIter
+	rest := preds
+	restPos := colPos
+	if n.Scan == plan.IndexScan {
+		for i, p := range preds {
+			if p.Op == query.Eq && t.Index(p.Column) != nil {
+				base = &indexScanIter{db: e.db, t: t, rids: t.Index(p.Column).Lookup(p.Value)}
+				rest = append(append([]query.Predicate{}, preds[:i]...), preds[i+1:]...)
+				restPos = append(append([]int{}, colPos[:i]...), colPos[i+1:]...)
+				break
+			}
+		}
+	}
+	if base == nil {
+		base = &seqScanIter{db: e.db, t: t}
+	}
+	it := base
+	if len(rest) > 0 {
+		it = &filterIter{in: base, preds: rest, colPos: restPos}
+	}
+
+	info := newDinfo([]string{n.Table})
+	// Heap files keep the generators' append order, which is primary-key
+	// order; index-scan RID lists also store RIDs in that order. Either way
+	// the stream is clustered on the primary key, matching the in-memory
+	// executor's sortedness rule for base scans.
+	if pk := t.Schema.PrimaryKey; pk != "" {
+		info.sorted = &schema0{table: n.Table, column: pk}
+	}
+	return &dnode{node: n, it: it, info: info, ns: ns}, nil
+}
+
+func (e *DiskExecutor) buildJoin(n *plan.Node, q *query.Query, left, right *dnode, res *Result) (*dnode, error) {
+	joins := q.JoinsBetween(setOf(left.info.tables), setOf(right.info.tables))
+	info := newDinfo(append(append([]string{}, left.info.tables...), right.info.tables...))
+	ns := &NodeStats{}
+	res.Nodes[n] = ns
+	d := &dnode{node: n, info: info, ns: ns, left: left, right: right}
+
+	if len(joins) == 0 {
+		ns.CrossProduct = true
+		d.it = &crossJoinIter{left: left.it, right: right.it, limit: e.maxRows()}
+		return d, nil
+	}
+
+	primary := joins[0]
+	leftCol, rightCol := dorient(primary, left.info)
+	lpos, err := e.colPos(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	rpos, err := e.colPos(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	key := joinKeyCols{
+		lslot: left.info.slot[leftCol.table], lpos: lpos,
+		rslot: right.info.slot[rightCol.table], rpos: rpos,
+	}
+	rest, err := e.restFilter(joins[1:], left.info, right.info)
+	if err != nil {
+		return nil, err
+	}
+
+	ns.LeftSorted = left.info.sorted != nil && *left.info.sorted == schema0{table: leftCol.table, column: leftCol.column}
+	ns.RightSorted = right.info.sorted != nil && *right.info.sorted == schema0{table: rightCol.table, column: rightCol.column}
+	rightTab := e.db.Table(rightCol.table)
+	if n.Right.IsLeaf() && n.Right.Scan == plan.IndexScan &&
+		e.db.Catalog.HasIndex(rightCol.table, rightCol.column) && len(right.info.tables) == 1 {
+		ns.InnerIndexOnJoinKey = true
+	}
+
+	limit := e.maxRows() * 4 // same slack the in-memory executor allows
+	switch {
+	case ns.InnerIndexOnJoinKey && n.Join == plan.LoopJoin && rightTab.Index(rightCol.column) != nil:
+		// True index-nested-loop: skip the inner scan entirely and fetch
+		// matching inner tuples through the RID index per outer row. The
+		// inner leaf's predicates are applied to each fetched tuple.
+		innerPreds := q.PredicatesOn(rightCol.table)
+		innerPos := make([]int, len(innerPreds))
+		for i, p := range innerPreds {
+			if innerPos[i] = rightTab.Schema.ColumnIndex(p.Column); innerPos[i] < 0 {
+				return nil, fmt.Errorf("executor: unknown column %s.%s", p.Table, p.Column)
+			}
+		}
+		d.it = &inlJoinIter{
+			db: e.db, left: left.it, inner: rightTab,
+			index: rightTab.Index(rightCol.column), key: key,
+			innerPreds: innerPreds, innerPos: innerPos,
+			rest: rest, innerStats: right.ns, limit: limit,
+		}
+	case n.Join == plan.MergeJoin:
+		d.it = &mergeJoinIter{left: left.it, right: right.it, key: key, rest: rest, limit: limit}
+		info.sorted = &schema0{table: leftCol.table, column: leftCol.column}
+	default:
+		// HashJoin, and LoopJoin without a usable inner index (a blind
+		// nested loop would do the same comparisons per pair; hashing the
+		// inner keeps the worst case out of wall-clock without changing the
+		// output, exactly as the in-memory executor evaluates all joins).
+		d.it = &hashJoinIter{left: left.it, right: right.it, key: key, rest: rest, limit: limit}
+	}
+	return d, nil
+}
+
+// colPos resolves a (table, column) reference to its tuple position.
+func (e *DiskExecutor) colPos(c schema0) (int, error) {
+	t := e.db.Table(c.table)
+	if t == nil {
+		return 0, fmt.Errorf("executor: join references unknown table %q", c.table)
+	}
+	pos := t.Schema.ColumnIndex(c.column)
+	if pos < 0 {
+		return 0, fmt.Errorf("executor: join references unknown column %s.%s", c.table, c.column)
+	}
+	return pos, nil
+}
+
+// dorient is orient for the disk executor's metadata.
+func dorient(j query.JoinPredicate, left *dinfo) (schema0, schema0) {
+	if _, ok := left.slot[j.LeftTable]; ok {
+		return schema0{j.LeftTable, j.LeftColumn}, schema0{j.RightTable, j.RightColumn}
+	}
+	return schema0{j.RightTable, j.RightColumn}, schema0{j.LeftTable, j.LeftColumn}
+}
+
+// restPred is one non-primary join predicate compiled to slot/column
+// positions against the joined row layout (left slots then right slots).
+type restPred struct {
+	aSlot, aPos int // position in the combined row
+	bSlot, bPos int
+}
+
+// restFilter compiles the non-primary join predicates. Predicates whose
+// tables are not all present are skipped, mirroring the in-memory executor.
+func (e *DiskExecutor) restFilter(joins []query.JoinPredicate, left, right *dinfo) ([]restPred, error) {
+	var out []restPred
+	locate := func(table string) (int, bool) {
+		if s, ok := left.slot[table]; ok {
+			return s, true
+		}
+		if s, ok := right.slot[table]; ok {
+			return len(left.tables) + s, true
+		}
+		return 0, false
+	}
+	for _, j := range joins {
+		aSlot, okA := locate(j.LeftTable)
+		bSlot, okB := locate(j.RightTable)
+		if !okA || !okB {
+			continue
+		}
+		aPos, err := e.colPos(schema0{j.LeftTable, j.LeftColumn})
+		if err != nil {
+			return nil, err
+		}
+		bPos, err := e.colPos(schema0{j.RightTable, j.RightColumn})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, restPred{aSlot: aSlot, aPos: aPos, bSlot: bSlot, bPos: bPos})
+	}
+	return out, nil
+}
+
+func restMatch(rest []restPred, row drow) bool {
+	for _, r := range rest {
+		if !row[r.aSlot][r.aPos].Equal(row[r.bSlot][r.bPos]) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinKeyCols locates the primary join key in the left and right streams.
+type joinKeyCols struct {
+	lslot, lpos int
+	rslot, rpos int
+}
+
+func combineRows(l, r drow) drow {
+	out := make(drow, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+// ---- scans ----
+
+// seqScanIter reads every page of a heap file through the buffer pool and
+// decodes every tuple.
+type seqScanIter struct {
+	db   *storage.DiskDB
+	t    *storage.DiskTable
+	page *storage.Page
+	pg   int32
+	slot int
+	rows int64
+}
+
+func (s *seqScanIter) Open() error {
+	s.pg, s.slot, s.page, s.rows = 0, 0, nil, 0
+	return nil
+}
+
+func (s *seqScanIter) Next() (drow, bool, error) {
+	for {
+		if s.page == nil {
+			if s.pg >= s.t.Heap.NumPages() {
+				return nil, false, nil
+			}
+			p, err := s.db.Pool.Get(s.t.Heap, s.pg)
+			if err != nil {
+				return nil, false, err
+			}
+			s.page, s.slot = p, 0
+		}
+		if s.slot >= s.page.NumSlots() {
+			s.page, s.pg = nil, s.pg+1
+			continue
+		}
+		data, err := s.page.Tuple(s.slot)
+		if err != nil {
+			return nil, false, err
+		}
+		s.slot++
+		vals, err := storage.DecodeTuple(data, s.t.Schema, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		s.rows++
+		return drow{vals}, true, nil
+	}
+}
+
+func (s *seqScanIter) Close() error { s.page = nil; return nil }
+func (s *seqScanIter) Rows() int64  { return s.rows }
+
+// indexScanIter fetches a precomputed RID list (from an equality predicate
+// on an indexed column) through the buffer pool.
+type indexScanIter struct {
+	db   *storage.DiskDB
+	t    *storage.DiskTable
+	rids []storage.RID
+	next int
+	rows int64
+}
+
+func (s *indexScanIter) Open() error {
+	s.next, s.rows = 0, 0
+	return nil
+}
+
+func (s *indexScanIter) Next() (drow, bool, error) {
+	if s.next >= len(s.rids) {
+		return nil, false, nil
+	}
+	rid := s.rids[s.next]
+	s.next++
+	vals, err := fetchRID(s.db, s.t, rid)
+	if err != nil {
+		return nil, false, err
+	}
+	s.rows++
+	return drow{vals}, true, nil
+}
+
+func (s *indexScanIter) Close() error { return nil }
+func (s *indexScanIter) Rows() int64  { return s.rows }
+
+func fetchRID(db *storage.DiskDB, t *storage.DiskTable, rid storage.RID) (dtuple, error) {
+	page, err := db.Pool.Get(t.Heap, rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	data, err := page.Tuple(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	return storage.DecodeTuple(data, t.Schema, nil)
+}
+
+// filterIter drops rows failing any predicate. It only ever wraps a scan,
+// so the predicate columns address slot 0.
+type filterIter struct {
+	in     diskIter
+	preds  []query.Predicate
+	colPos []int
+	rows   int64
+}
+
+func (f *filterIter) Open() error { f.rows = 0; return f.in.Open() }
+
+func (f *filterIter) Next() (drow, bool, error) {
+	for {
+		row, ok, err := f.in.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		matched := true
+		for i, p := range f.preds {
+			if !p.Matches(row[0][f.colPos[i]]) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			f.rows++
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.in.Close() }
+func (f *filterIter) Rows() int64  { return f.rows }
+
+// ---- joins ----
+
+// hashJoinIter drains the right input into a hash table at Open, then
+// streams the left input, probing per row. Keys use Value.String(), the
+// same encoding the in-memory executor hashes on.
+type hashJoinIter struct {
+	left, right diskIter
+	key         joinKeyCols
+	rest        []restPred
+	limit       int
+
+	build   map[string][]drow
+	pending []drow
+	rows    int64
+}
+
+func (h *hashJoinIter) Open() error {
+	h.rows, h.pending = 0, nil
+	if err := h.left.Open(); err != nil {
+		return err
+	}
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	h.build = make(map[string][]drow)
+	for {
+		row, ok, err := h.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		k := row[h.key.rslot][h.key.rpos].String()
+		h.build[k] = append(h.build[k], row)
+	}
+}
+
+func (h *hashJoinIter) Next() (drow, bool, error) {
+	for {
+		if len(h.pending) > 0 {
+			out := h.pending[0]
+			h.pending = h.pending[1:]
+			h.rows++
+			if int(h.rows) > h.limit {
+				return nil, false, errTruncated
+			}
+			return out, true, nil
+		}
+		lrow, ok, err := h.left.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		k := lrow[h.key.lslot][h.key.lpos].String()
+		for _, rrow := range h.build[k] {
+			if joined := combineRows(lrow, rrow); restMatch(h.rest, joined) {
+				h.pending = append(h.pending, joined)
+			}
+		}
+	}
+}
+
+func (h *hashJoinIter) Close() error {
+	h.build, h.pending = nil, nil
+	err := h.left.Close()
+	if err2 := h.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+func (h *hashJoinIter) Rows() int64 { return h.rows }
+
+// mergeJoinIter drains and sorts both inputs on the join key at Open, then
+// merges equal-key groups. (Base scans arrive clustered on the primary key;
+// the sort is a no-op pass for them but keeps the operator correct for any
+// input.)
+type mergeJoinIter struct {
+	left, right diskIter
+	key         joinKeyCols
+	rest        []restPred
+	limit       int
+
+	lrows, rrows []drow
+	li, ri       int
+	pending      []drow
+	rows         int64
+}
+
+func drain(it diskIter) ([]drow, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var out []drow
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+func (m *mergeJoinIter) Open() error {
+	m.rows, m.li, m.ri, m.pending = 0, 0, 0, nil
+	var err error
+	if m.lrows, err = drain(m.left); err != nil {
+		return err
+	}
+	if m.rrows, err = drain(m.right); err != nil {
+		return err
+	}
+	lk := func(r drow) storage.Value { return r[m.key.lslot][m.key.lpos] }
+	rk := func(r drow) storage.Value { return r[m.key.rslot][m.key.rpos] }
+	sort.SliceStable(m.lrows, func(a, b int) bool { return lk(m.lrows[a]).Less(lk(m.lrows[b])) })
+	sort.SliceStable(m.rrows, func(a, b int) bool { return rk(m.rrows[a]).Less(rk(m.rrows[b])) })
+	return nil
+}
+
+func (m *mergeJoinIter) Next() (drow, bool, error) {
+	for {
+		if len(m.pending) > 0 {
+			out := m.pending[0]
+			m.pending = m.pending[1:]
+			m.rows++
+			if int(m.rows) > m.limit {
+				return nil, false, errTruncated
+			}
+			return out, true, nil
+		}
+		if m.li >= len(m.lrows) || m.ri >= len(m.rrows) {
+			return nil, false, nil
+		}
+		lv := m.lrows[m.li][m.key.lslot][m.key.lpos]
+		rv := m.rrows[m.ri][m.key.rslot][m.key.rpos]
+		switch {
+		case lv.Less(rv):
+			m.li++
+		case rv.Less(lv):
+			m.ri++
+		default:
+			// Cross-product the equal-key groups.
+			le := m.li
+			for le < len(m.lrows) && m.lrows[le][m.key.lslot][m.key.lpos].Equal(lv) {
+				le++
+			}
+			re := m.ri
+			for re < len(m.rrows) && m.rrows[re][m.key.rslot][m.key.rpos].Equal(rv) {
+				re++
+			}
+			for _, lrow := range m.lrows[m.li:le] {
+				for _, rrow := range m.rrows[m.ri:re] {
+					if joined := combineRows(lrow, rrow); restMatch(m.rest, joined) {
+						m.pending = append(m.pending, joined)
+					}
+				}
+			}
+			m.li, m.ri = le, re
+		}
+	}
+}
+
+func (m *mergeJoinIter) Close() error {
+	m.lrows, m.rrows, m.pending = nil, nil, nil
+	err := m.left.Close()
+	if err2 := m.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+func (m *mergeJoinIter) Rows() int64 { return m.rows }
+
+// inlJoinIter is the index-nested-loop join: per outer row it looks up the
+// join key in the inner table's RID index, fetches only the matching tuples
+// through the buffer pool, and applies the inner leaf's predicates to each.
+// The inner leaf never runs as a scan; its NodeStats count the tuples the
+// index actually fetched (innerStats), the operator's honest cost.
+type inlJoinIter struct {
+	db         *storage.DiskDB
+	left       diskIter
+	inner      *storage.DiskTable
+	index      *storage.RIDIndex
+	key        joinKeyCols
+	innerPreds []query.Predicate
+	innerPos   []int
+	rest       []restPred
+	innerStats *NodeStats
+	limit      int
+
+	fetched int64
+	passed  int64
+	pending []drow
+	rows    int64
+}
+
+func (j *inlJoinIter) Open() error {
+	j.rows, j.fetched, j.passed, j.pending = 0, 0, 0, nil
+	return j.left.Open()
+}
+
+func (j *inlJoinIter) Next() (drow, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			out := j.pending[0]
+			j.pending = j.pending[1:]
+			j.rows++
+			if int(j.rows) > j.limit {
+				return nil, false, errTruncated
+			}
+			return out, true, nil
+		}
+		lrow, ok, err := j.left.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		for _, rid := range j.index.Lookup(lrow[j.key.lslot][j.key.lpos]) {
+			vals, err := fetchRID(j.db, j.inner, rid)
+			if err != nil {
+				return nil, false, err
+			}
+			j.fetched++
+			matched := true
+			for i, p := range j.innerPreds {
+				if !p.Matches(vals[j.innerPos[i]]) {
+					matched = false
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+			j.passed++
+			if joined := combineRows(lrow, drow{vals}); restMatch(j.rest, joined) {
+				j.pending = append(j.pending, joined)
+			}
+		}
+	}
+}
+
+func (j *inlJoinIter) Close() error {
+	j.pending = nil
+	// The inner leaf produced exactly the tuples that survived its filters.
+	j.innerStats.OutputRows = float64(j.passed)
+	if j.innerStats.BaseRows > 0 {
+		j.innerStats.Selectivity = j.innerStats.OutputRows / j.innerStats.BaseRows
+	}
+	return j.left.Close()
+}
+
+func (j *inlJoinIter) Rows() int64 { return j.rows }
+
+// crossJoinIter is the predicate-less fallback: it drains the right input at
+// Open and pairs every left row with every right row, stopping at the same
+// budget the in-memory executor caps cross products at.
+type crossJoinIter struct {
+	left, right diskIter
+	limit       int
+
+	rrows []drow
+	lrow  drow
+	ri    int
+	rows  int64
+}
+
+func (c *crossJoinIter) Open() error {
+	c.rows, c.ri, c.lrow = 0, 0, nil
+	var err error
+	if c.rrows, err = drain(c.right); err != nil {
+		return err
+	}
+	return c.left.Open()
+}
+
+func (c *crossJoinIter) Next() (drow, bool, error) {
+	for {
+		if c.lrow == nil {
+			row, ok, err := c.left.Next()
+			if !ok || err != nil {
+				return nil, false, err
+			}
+			c.lrow, c.ri = row, 0
+		}
+		if c.ri >= len(c.rrows) {
+			c.lrow = nil
+			continue
+		}
+		out := combineRows(c.lrow, c.rrows[c.ri])
+		c.ri++
+		c.rows++
+		if int(c.rows) >= c.limit {
+			return nil, false, errTruncated
+		}
+		return out, true, nil
+	}
+}
+
+func (c *crossJoinIter) Close() error {
+	c.rrows = nil
+	err := c.left.Close()
+	if err2 := c.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+func (c *crossJoinIter) Rows() int64 { return c.rows }

@@ -64,6 +64,11 @@ type Result struct {
 	// TotalIntermediateRows sums the output cardinalities of every node; a
 	// crude engine-independent measure of how much work the plan implies.
 	TotalIntermediateRows float64
+	// Truncated reports that an operator hit its row budget and stopped
+	// early, so cardinalities are lower bounds. The in-memory executor never
+	// sets it (it samples instead); the disk executor sets it when a
+	// runaway plan exceeds its per-operator budget.
+	Truncated bool
 }
 
 // Executor executes plans against one database.
@@ -375,20 +380,38 @@ func (e *Executor) maxRows() int {
 }
 
 // maybeSample downsamples a relation that exceeds the cap, adjusting its
-// scale factor so card() stays approximately correct.
+// scale factor so card() stays correct.
+//
+// The sample is exact-count: exactly limit evenly spaced rows are kept and
+// mult is scaled by n/limit, so card() at the sampled node equals the true
+// materialized count exactly. Downstream nodes join a uniform 1-in-(n/limit)
+// subsample, so their card() values are estimates whose relative error
+// shrinks as O(1/sqrt(limit·selectivity)); with the default 50k cap this is
+// well under a percent for the join selectivities the workloads produce.
+// (The previous float-stride loop could emit fewer than limit rows while
+// still dividing by the intended count, silently inflating mult.)
 func (e *Executor) maybeSample(r *relation) {
 	limit := e.maxRows()
 	if len(r.rows) <= limit {
 		return
 	}
-	stride := float64(len(r.rows)) / float64(limit)
-	sampled := make([][]int32, 0, limit)
-	for i := 0.0; int(i) < len(r.rows) && len(sampled) < limit; i += stride {
-		sampled = append(sampled, r.rows[int(i)])
+	sampled := make([][]int32, limit)
+	for i, idx := range sampleIndices(len(r.rows), limit) {
+		sampled[i] = r.rows[idx]
 	}
-	r.mult *= float64(len(r.rows)) / float64(len(sampled))
+	r.mult *= float64(len(r.rows)) / float64(limit)
 	r.rows = sampled
 	r.sorted = nil
+}
+
+// sampleIndices returns exactly limit strictly increasing row indices spread
+// evenly over [0, n). Requires n > limit.
+func sampleIndices(n, limit int) []int {
+	idx := make([]int, limit)
+	for i := range idx {
+		idx[i] = i * n / limit
+	}
+	return idx
 }
 
 func combine(l, r []int32) []int32 {

@@ -62,6 +62,9 @@ type Config struct {
 	// for every worker count. Zero selects GOMAXPROCS; negative forces
 	// serial training.
 	TrainWorkers int
+	// BufferPoolMB sizes the buffer pool when an experiment selects the
+	// "disk" engine (zero means 16 MiB). The other engines ignore it.
+	BufferPoolMB int
 }
 
 // Quick returns the configuration used by the benchmark harness: small
@@ -126,6 +129,10 @@ type Env struct {
 	// Embeddings caches trained row-vector models, keyed by
 	// "<workload>/<joins|nojoins>".
 	Embeddings map[string]*embedding.Model
+	// diskDBs lazily caches the materialized on-disk copy of each
+	// workload's database (built the first time an experiment asks for the
+	// "disk" engine).
+	diskDBs map[string]*storage.DiskDB
 }
 
 // NewEnv generates the databases, statistics and workloads for the suite.
@@ -290,13 +297,58 @@ func (e *Env) Featurizer(workloadName string, enc feature.Encoding) *feature.Fea
 }
 
 // Engine builds a fresh engine of the given profile over a workload's
-// database.
+// database. The "disk" engine executes against an on-disk copy of the
+// database (materialized lazily, shared across runs of the same workload)
+// and feeds measured wall-clock latencies into the loop instead of
+// simulated costs.
 func (e *Env) Engine(workloadName, engineName string) (*engine.Engine, error) {
 	prof, err := engine.ProfileByName(engineName)
 	if err != nil {
 		return nil, err
 	}
+	if engineName == "disk" {
+		ddb, err := e.DiskDB(workloadName)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewWithBackend(prof, engine.NewDiskBackend(ddb)), nil
+	}
 	return engine.New(prof, e.DBs[workloadName]), nil
+}
+
+// DiskDB returns (materializing on first use) the on-disk copy of a
+// workload's database, with a buffer pool sized by Config.BufferPoolMB.
+func (e *Env) DiskDB(workloadName string) (*storage.DiskDB, error) {
+	if ddb, ok := e.diskDBs[workloadName]; ok {
+		return ddb, nil
+	}
+	db := e.DBs[workloadName]
+	if db == nil {
+		return nil, fmt.Errorf("experiments: unknown workload %q", workloadName)
+	}
+	dir, err := os.MkdirTemp("", "neo-disk-"+workloadName+"-")
+	if err != nil {
+		return nil, err
+	}
+	if err := storage.Materialize(db, dir); err != nil {
+		return nil, fmt.Errorf("experiments: materializing %s: %w", workloadName, err)
+	}
+	mb := e.Config.BufferPoolMB
+	if mb <= 0 {
+		mb = 16
+	}
+	ddb, err := storage.OpenDisk(dir, db.Catalog, storage.PagesForMB(mb))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening disk db for %s: %w", workloadName, err)
+	}
+	if err := ddb.VerifyAgainst(db); err != nil {
+		return nil, err
+	}
+	if e.diskDBs == nil {
+		e.diskDBs = make(map[string]*storage.DiskDB)
+	}
+	e.diskDBs[workloadName] = ddb
+	return ddb, nil
 }
 
 // PGExpert returns a PostgreSQL-profile expert optimizer over a workload's

@@ -360,20 +360,18 @@ func Figure15(env *Env) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := run.Engine.Exec.Execute(p)
+			neoLat, _, err := run.Engine.Simulate(p)
 			if err != nil {
 				return nil, err
 			}
-			neoLat := run.Engine.CostResult(p.Roots[0], res.Nodes)
 			pgPlan, _, err := run.PG.Optimize(q)
 			if err != nil {
 				return nil, err
 			}
-			pgRes, err := run.Engine.Exec.Execute(pgPlan)
+			pgLat, _, err := run.Engine.Simulate(pgPlan)
 			if err != nil {
 				return nil, err
 			}
-			pgLat := run.Engine.CostResult(pgPlan.Roots[0], pgRes.Nodes)
 			diff := pgLat - neoLat // positive = Neo saves time
 			saved += diff
 			if diff >= 0 {
@@ -433,11 +431,11 @@ func Figure16(env *Env) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				execRes, err := run.Engine.Exec.Execute(res.Plan)
+				lat, _, err := run.Engine.Simulate(res.Plan)
 				if err != nil {
 					return nil, err
 				}
-				total += run.Engine.CostResult(res.Plan.Roots[0], execRes.Nodes)
+				total += lat
 			}
 			latencies[bi] = total
 		}
@@ -580,20 +578,20 @@ func AblationSearchVsGreedy(env *Env) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		sr, err := run.Engine.Exec.Execute(sp)
+		sLat, _, err := run.Engine.Simulate(sp)
 		if err != nil {
 			return nil, err
 		}
-		searchTotal += run.Engine.CostResult(sp.Roots[0], sr.Nodes)
+		searchTotal += sLat
 		gp, _, err := run.Neo.OptimizeGreedy(q)
 		if err != nil {
 			return nil, err
 		}
-		gr, err := run.Engine.Exec.Execute(gp)
+		gLat, _, err := run.Engine.Simulate(gp)
 		if err != nil {
 			return nil, err
 		}
-		greedyTotal += run.Engine.CostResult(gp.Roots[0], gr.Nodes)
+		greedyTotal += gLat
 	}
 	rep.AddRow("best-first search", fmt.Sprintf("%.1f", searchTotal), 1.0)
 	rep.AddRow("greedy (hurry-up)", fmt.Sprintf("%.1f", greedyTotal), greedyTotal/maxFloat(searchTotal, 1e-9))
@@ -630,11 +628,11 @@ func AblationTreeConvVsFlat(env *Env) (*Report, error) {
 			if err != nil {
 				return 0, err
 			}
-			execRes, err := run.Engine.Exec.Execute(res.Plan)
+			lat, _, err := run.Engine.Simulate(res.Plan)
 			if err != nil {
 				return 0, err
 			}
-			total += run.Engine.CostResult(res.Plan.Roots[0], execRes.Nodes)
+			total += lat
 		}
 		return total, nil
 	}

@@ -398,8 +398,11 @@ func NativeOptimizer(eng *engine.Engine, st *stats.Stats, cat *schema.Catalog) *
 	cfg, quality := NativeConfig(eng.Profile.Name)
 	hist := &HistogramEstimator{Stats: st}
 	var est Estimator = hist
-	if quality > 0 {
-		est = NewCorrectedEstimator(hist, eng.Exec, quality)
+	// Corrected estimation probes true selectivities through the in-memory
+	// executor; only the sim backend exposes one, and only the high-quality
+	// commercial profiles use it.
+	if exec := eng.Executor(); quality > 0 && exec != nil {
+		est = NewCorrectedEstimator(hist, exec, quality)
 	}
 	return NewOptimizer(eng, est, cat, cfg)
 }

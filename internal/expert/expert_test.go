@@ -141,11 +141,11 @@ func TestCommercialOptimizerAtLeastAsGoodAsPostgres(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pgRes, err := target.Exec.Execute(pgPlan)
+	pgRes, err := target.Executor().Execute(pgPlan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mRes, err := target.Exec.Execute(mPlan)
+	mRes, err := target.Executor().Execute(mPlan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,17 +190,17 @@ func TestCorrectedEstimatorBlends(t *testing.T) {
 		{Table: "movie_info", Column: "info_type_id", Op: query.Eq, Value: storage.IntValue(3)},
 	}
 	histRows := h.ScanRows("movie_info", preds)
-	exactSel, err := engs["postgres"].Exec.Selectivity("movie_info", preds)
+	exactSel, err := engs["postgres"].Executor().Selectivity("movie_info", preds)
 	if err != nil {
 		t.Fatal(err)
 	}
 	exactRows := exactSel * h.BaseRows("movie_info")
-	full := NewCorrectedEstimator(h, engs["postgres"].Exec, 1.0)
+	full := NewCorrectedEstimator(h, engs["postgres"].Executor(), 1.0)
 	got := full.ScanRows("movie_info", preds)
 	if diff(got, exactRows) > 0.05*exactRows+1 {
 		t.Errorf("quality-1 estimator = %f, want ~exact %f", got, exactRows)
 	}
-	zero := NewCorrectedEstimator(h, engs["postgres"].Exec, 0.0)
+	zero := NewCorrectedEstimator(h, engs["postgres"].Executor(), 0.0)
 	if diff(zero.ScanRows("movie_info", preds), histRows) > 1e-6 {
 		t.Errorf("quality-0 estimator should equal the histogram estimate")
 	}

@@ -453,6 +453,10 @@ type Stats struct {
 	// publication (see the -score-precision flag). An int8 deployment shows
 	// "float32" until a retrain gives it calibration material.
 	Snapshot neo.SnapshotInfo `json:"snapshot"`
+	// Storage reports the disk backend's buffer-pool counters — hit rate,
+	// evictions, bytes read from the heap files. Omitted (nil) when the
+	// system runs a simulated engine, which touches no storage.
+	Storage *neo.StorageStats `json:"storage,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -460,6 +464,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) snapshotStats() Stats {
+	var storagePtr *neo.StorageStats
+	if st, ok := s.sys.StorageStats(); ok {
+		storagePtr = &st
+	}
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		NetVersion:    s.sys.Neo.NetVersion(),
@@ -473,6 +481,7 @@ func (s *Server) snapshotStats() Stats {
 		PlanCache:     s.sys.PlanCacheStats(),
 		Fusion:        s.sys.FusionStats(),
 		Snapshot:      s.sys.SnapshotInfo(),
+		Storage:       storagePtr,
 	}
 }
 

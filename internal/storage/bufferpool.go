@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PagesForMB converts a buffer-pool budget in mebibytes to a page count,
+// never returning less than one page.
+func PagesForMB(mb int) int {
+	pages := mb * (1 << 20) / PageSize
+	if pages < 1 {
+		return 1
+	}
+	return pages
+}
+
+// PoolStats is a snapshot of buffer-pool counters, shaped for the /stats
+// endpoint.
+type PoolStats struct {
+	CapacityPages int     `json:"capacity_pages"`
+	ResidentPages int     `json:"resident_pages"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	BytesRead     int64   `json:"bytes_read"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+type pageKey struct {
+	file *HeapFile
+	page int32
+}
+
+type frame struct {
+	key  pageKey
+	page *Page
+	ref  bool
+}
+
+// BufferPool caches heap pages with clock (second-chance) eviction. Get is
+// safe for concurrent use. Evicted pages are not invalidated — callers
+// already holding a *Page keep a valid (GC-protected) snapshot; the pool
+// merely forgets it, so a later Get re-reads from disk. That is sound
+// because heap files are immutable once materialized.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[pageKey]*frame
+	clock    []*frame // fixed-capacity ring once full
+	hand     int
+
+	hits      int64
+	misses    int64
+	evictions int64
+	bytesRead int64
+}
+
+// NewBufferPool creates a pool holding at most capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		frames:   make(map[pageKey]*frame, capacity),
+	}
+}
+
+// Get returns the requested page, serving it from the pool when resident and
+// reading (and caching) it from the heap file otherwise.
+func (bp *BufferPool) Get(hf *HeapFile, pageNo int32) (*Page, error) {
+	key := pageKey{file: hf, page: pageNo}
+
+	bp.mu.Lock()
+	if fr, ok := bp.frames[key]; ok {
+		fr.ref = true
+		bp.hits++
+		p := fr.page
+		bp.mu.Unlock()
+		return p, nil
+	}
+	bp.mu.Unlock()
+
+	// Miss: read outside the lock so concurrent queries overlap their I/O.
+	// Two goroutines may race to read the same page; both reads are correct
+	// (files are immutable) and admit() keeps only one copy.
+	p, err := hf.ReadPage(pageNo)
+	if err != nil {
+		return nil, err
+	}
+
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.misses++
+	bp.bytesRead += PageSize
+	if fr, ok := bp.frames[key]; ok {
+		fr.ref = true
+		return fr.page, nil
+	}
+	bp.admit(&frame{key: key, page: p, ref: true})
+	return p, nil
+}
+
+// admit inserts a frame, evicting via the clock hand when at capacity.
+// Caller holds bp.mu.
+func (bp *BufferPool) admit(fr *frame) {
+	if len(bp.clock) < bp.capacity {
+		bp.clock = append(bp.clock, fr)
+		bp.frames[fr.key] = fr
+		return
+	}
+	for {
+		victim := bp.clock[bp.hand]
+		if victim.ref {
+			victim.ref = false
+			bp.hand = (bp.hand + 1) % len(bp.clock)
+			continue
+		}
+		delete(bp.frames, victim.key)
+		bp.evictions++
+		bp.clock[bp.hand] = fr
+		bp.frames[fr.key] = fr
+		bp.hand = (bp.hand + 1) % len(bp.clock)
+		return
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	s := PoolStats{
+		CapacityPages: bp.capacity,
+		ResidentPages: len(bp.clock),
+		Hits:          bp.hits,
+		Misses:        bp.misses,
+		Evictions:     bp.evictions,
+		BytesRead:     bp.bytesRead,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// Reset drops every resident page and zeroes the counters. Benchmarks use it
+// to measure cold-cache behavior without reopening files.
+func (bp *BufferPool) Reset() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.frames = make(map[pageKey]*frame, bp.capacity)
+	bp.clock = nil
+	bp.hand = 0
+	bp.hits, bp.misses, bp.evictions, bp.bytesRead = 0, 0, 0, 0
+}
+
+// String implements fmt.Stringer for log lines.
+func (s PoolStats) String() string {
+	return fmt.Sprintf("pool{cap=%dp resident=%dp hits=%d misses=%d evictions=%d read=%dB hit-rate=%.2f}",
+		s.CapacityPages, s.ResidentPages, s.Hits, s.Misses, s.Evictions, s.BytesRead, s.HitRate)
+}

@@ -153,6 +153,30 @@ func ReadF64sInto(r io.Reader, dst []float64, what string) error {
 	return nil
 }
 
+// Byte-slice accessors for in-place encoding. The stream primitives above
+// serve record-oriented formats (checkpoints); these serve page-oriented
+// formats (package storage's slotted heap pages), where fields live at
+// computed offsets inside a fixed-size buffer and an io.Writer would only
+// add copies. Same byte order, same bit patterns.
+
+// PutU16 writes a fixed-width uint16 at the start of b.
+func PutU16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
+
+// U16 reads a fixed-width uint16 from the start of b.
+func U16(b []byte) uint16 { return binary.LittleEndian.Uint16(b) }
+
+// PutU32 writes a fixed-width uint32 at the start of b.
+func PutU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+// U32 reads a fixed-width uint32 from the start of b.
+func U32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+// PutI64 writes a fixed-width int64 at the start of b.
+func PutI64(b []byte, v int64) { binary.LittleEndian.PutUint64(b, uint64(v)) }
+
+// I64 reads a fixed-width int64 from the start of b.
+func I64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
 // WriteString writes a length-prefixed UTF-8 string.
 func WriteString(w io.Writer, s string) error {
 	if err := WriteU64(w, uint64(len(s))); err != nil {

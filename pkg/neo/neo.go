@@ -11,6 +11,7 @@ package neo
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,9 @@ type (
 	// SnapshotInfo describes the serving snapshot's scoring precision and
 	// memory footprint (see Config.ScorePrecision and System.SnapshotInfo).
 	SnapshotInfo = valuenet.SnapshotInfo
+	// StorageStats reports the disk backend's buffer-pool counters (see
+	// Config.Engine "disk" and System.StorageStats).
+	StorageStats = storage.PoolStats
 )
 
 // Value and comparison-operator re-exports, so callers can build predicates
@@ -136,9 +140,22 @@ type Config struct {
 	// Dataset selects the synthetic database profile: "imdb" (JOB-like,
 	// correlated), "tpch" (uniform) or "corp" (skewed dashboard).
 	Dataset string
-	// Engine selects the simulated execution engine: "postgres", "sqlite",
-	// "engine-m" or "engine-o".
+	// Engine selects the execution engine: "postgres", "sqlite", "engine-m"
+	// or "engine-o" select a simulated engine (deterministic cost model plus
+	// per-profile noise); "disk" selects the disk-backed engine, which
+	// materializes the synthetic database into slotted-page heap files,
+	// executes learned plans through a buffer pool with Volcano-style
+	// iterators, and feeds measured wall-clock latencies into the learning
+	// loop.
 	Engine string
+	// DataDir is where the "disk" engine keeps its heap files. Empty means a
+	// fresh temporary directory; a persistent directory is reused across runs
+	// when its heap files match the configured dataset (re-materialized
+	// otherwise). Ignored by the simulated engines.
+	DataDir string
+	// BufferPoolMB sizes the disk engine's buffer pool in MiB (default 16).
+	// Ignored by the simulated engines.
+	BufferPoolMB int
 	// Encoding selects the predicate featurization (default RVector).
 	Encoding Encoding
 	// Scale multiplies the synthetic data size (default 0.5).
@@ -237,7 +254,27 @@ type System struct {
 	Featurizer *Featurizer
 	Neo        *Optimizer
 
-	cache planCache
+	diskDB *storage.DiskDB
+	cache  planCache
+}
+
+// StorageStats reports the disk backend's buffer-pool counters (hit rate,
+// evictions, bytes read). ok is false when the system runs a simulated
+// engine, which touches no storage. Safe for concurrent use.
+func (s *System) StorageStats() (st StorageStats, ok bool) {
+	if s.diskDB == nil {
+		return StorageStats{}, false
+	}
+	return s.diskDB.Pool.Stats(), true
+}
+
+// Close releases the disk backend's file handles. It is a no-op for the
+// simulated engines, so callers may defer it unconditionally.
+func (s *System) Close() error {
+	if s.diskDB == nil {
+		return nil
+	}
+	return s.diskDB.Close()
 }
 
 // PlanCacheStats reports the plan cache's effectiveness. The JSON tags serve
@@ -359,7 +396,17 @@ func Open(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("neo: %w", err)
 	}
-	eng := engine.New(engProfile, db)
+	var eng *Engine
+	var ddb *storage.DiskDB
+	if cfg.Engine == "disk" {
+		ddb, err = openDiskDB(cfg, db)
+		if err != nil {
+			return nil, err
+		}
+		eng = engine.NewWithBackend(engProfile, engine.NewDiskBackend(ddb))
+	} else {
+		eng = engine.New(engProfile, db)
+	}
 	pgEngine := engine.New(engine.PostgreSQLProfile(), db)
 	pg := expert.NativeOptimizer(pgEngine, st, db.Catalog)
 	native := expert.NativeOptimizer(eng, st, db.Catalog)
@@ -410,7 +457,48 @@ func Open(cfg Config) (*System, error) {
 		Native:     native,
 		Featurizer: feat,
 		Neo:        n,
+		diskDB:     ddb,
 	}, nil
+}
+
+// openDiskDB materializes the synthetic database into heap files (unless the
+// data directory already holds a matching set) and opens it through a buffer
+// pool. Heap files that don't match the in-memory database — a DataDir left
+// over from a different scale or seed — are re-materialized in place.
+func openDiskDB(cfg Config, db *storage.Database) (*storage.DiskDB, error) {
+	dir := cfg.DataDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "neo-disk-")
+		if err != nil {
+			return nil, fmt.Errorf("neo: creating disk data dir: %w", err)
+		}
+	}
+	mb := cfg.BufferPoolMB
+	if mb <= 0 {
+		mb = 16
+	}
+	materialize := !storage.MaterializedAt(dir, db.Catalog)
+	for attempt := 0; ; attempt++ {
+		if materialize {
+			if err := storage.Materialize(db, dir); err != nil {
+				return nil, fmt.Errorf("neo: materializing heap files: %w", err)
+			}
+		}
+		ddb, err := storage.OpenDisk(dir, db.Catalog, storage.PagesForMB(mb))
+		if err != nil {
+			return nil, fmt.Errorf("neo: opening disk database: %w", err)
+		}
+		if err := ddb.VerifyAgainst(db); err != nil {
+			ddb.Close()
+			if attempt == 0 {
+				materialize = true
+				continue
+			}
+			return nil, fmt.Errorf("neo: %w", err)
+		}
+		return ddb, nil
+	}
 }
 
 // GenerateWorkload creates a workload of n queries appropriate for the

@@ -1,7 +1,9 @@
 package neo
 
 import (
+	"os"
 	"testing"
+	"time"
 )
 
 func smallSystem(t testing.TB, dataset, engineName string, enc Encoding) *System {
@@ -140,6 +142,107 @@ func TestExperimentFacade(t *testing.T) {
 	if rep.Name != "table2" || len(rep.Rows) == 0 {
 		t.Errorf("report malformed: %+v", rep)
 	}
+}
+
+func TestDiskEngineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := Open(Config{
+		Dataset:          "imdb",
+		Engine:           "disk",
+		Encoding:         Histogram,
+		Scale:            0.15,
+		Seed:             7,
+		SearchExpansions: 32,
+		Episodes:         1,
+		DataDir:          dir,
+		BufferPoolMB:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if name := sys.Engine.Backend.Name(); name != "disk" {
+		t.Fatalf("backend = %q, want disk", name)
+	}
+	if !sys.Engine.Backend.Measured() {
+		t.Fatalf("disk backend must report measured latencies")
+	}
+
+	wl, err := sys.GenerateWorkload(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range wl.Queries {
+		p, err := sys.ExpertPlan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, err := sys.Execute(p)
+		if err != nil {
+			t.Fatalf("Execute(%s): %v", q.ID, err)
+		}
+		if lat <= 0 {
+			t.Errorf("%s: measured latency should be positive, got %g", q.ID, lat)
+		}
+	}
+	st, ok := sys.StorageStats()
+	if !ok {
+		t.Fatalf("disk system should report storage stats")
+	}
+	if st.Misses == 0 || st.BytesRead == 0 {
+		t.Errorf("execution should have read pages through the pool: %+v", st)
+	}
+
+	// A second Open over the same data directory reuses the heap files
+	// instead of re-materializing.
+	before := heapModTimes(t, dir)
+	sys2, err := Open(Config{
+		Dataset: "imdb", Engine: "disk", Encoding: Histogram,
+		Scale: 0.15, Seed: 7, DataDir: dir, BufferPoolMB: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	for name, mod := range heapModTimes(t, dir) {
+		if !mod.Equal(before[name]) {
+			t.Errorf("%s was rewritten on reuse", name)
+		}
+	}
+
+	// A mismatched data directory (different scale) is detected and
+	// re-materialized in place rather than served stale.
+	sys3, err := Open(Config{
+		Dataset: "imdb", Engine: "disk", Encoding: Histogram,
+		Scale: 0.25, Seed: 7, DataDir: dir, BufferPoolMB: 1,
+	})
+	if err != nil {
+		t.Fatalf("stale data dir should be re-materialized, got %v", err)
+	}
+	defer sys3.Close()
+	if sys3.DB.TotalRows() == sys.DB.TotalRows() {
+		t.Fatalf("test needs distinct scales to detect staleness")
+	}
+}
+
+func heapModTimes(t *testing.T, dir string) map[string]time.Time {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]time.Time)
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = info.ModTime()
+	}
+	if len(out) == 0 {
+		t.Fatalf("no heap files in %s", dir)
+	}
+	return out
 }
 
 func TestNewQueryHelper(t *testing.T) {
