@@ -14,6 +14,15 @@
 // On startup the daemon restores -load (or, if that is unset, an existing
 // -checkpoint file); with neither present it bootstraps from the
 // PostgreSQL-profile expert over a generated workload.
+//
+// Two cluster modes turn the daemon into part of the distributed serving
+// tier (see OPERATIONS.md):
+//
+//	neo-serve -trainer http://trainer:7790        # replica: snapshots from
+//	                                              # the trainer, feedback
+//	                                              # forwarded to it
+//	neo-serve -route http://r1:8080,http://r2:8080  # thin router: shard
+//	                                              # traffic over replicas
 package main
 
 import (
@@ -23,9 +32,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"neo/internal/cluster"
+	"neo/internal/cluster/proto"
 	"neo/internal/serve"
 	"neo/pkg/neo"
 )
@@ -53,8 +65,18 @@ func main() {
 		maxFused     = flag.Int("max-fused-batch", 0, "row cap of one fused forward pass (0 = default 64)")
 		fuseLinger   = flag.Duration("fuse-linger", 0, "longest a scoring submission waits to be fused (0 = default 200µs)")
 		scorePrec    = flag.String("score-precision", "float32", "numeric format the frozen serving snapshot scores plans with: float64 (exact), float32 (packed tiled-GEMM kernels) or int8 (calibrated quantization; serves float32 until the first retrain provides calibration material). Training and checkpoints always stay float64.")
+		trainerURL   = flag.String("trainer", "", "trainer base URL; switches the daemon into replica mode (no local training, feedback forwarded, snapshots pulled)")
+		flushEvery   = flag.Duration("flush-every", 0, "replica mode: experience forwarding interval (0 = default 250ms)")
+		flushBatch   = flag.Int("flush-batch", 0, "replica mode: entries per forwarded experience container (0 = default 64)")
+		maxQueue     = flag.Int("max-queue", 0, "replica mode: forwarding-queue bound; oldest entries are dropped beyond it when the trainer is down (0 = default 4096)")
+		route        = flag.String("route", "", "comma-separated replica base URLs; runs the thin consistent-hash router instead of a serving daemon (no database is opened)")
 	)
 	flag.Parse()
+
+	if *route != "" {
+		runRouter(*addr, *route)
+		return
+	}
 
 	sys, err := neo.Open(neo.Config{
 		Dataset:          *dataset,
@@ -84,13 +106,17 @@ func main() {
 			restore = *ckpt
 		}
 	}
-	if restore != "" {
+	switch {
+	case restore != "":
 		if err := sys.LoadCheckpointFile(restore); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("neo-serve: warm start from %s (net version %d, %d experience entries)\n",
 			restore, sys.Neo.NetVersion(), sys.Neo.Experience.Len())
-	} else {
+	case *trainerURL != "":
+		// Replica cold start: the trainer's snapshot replaces bootstrapping —
+		// the pull below delivers trained weights into the fresh network.
+	default:
 		fmt.Printf("neo-serve: cold start, bootstrapping from the expert over %d queries ...\n", *queries)
 		wl, err := sys.GenerateWorkload(*queries)
 		if err != nil {
@@ -101,12 +127,34 @@ func main() {
 		}
 	}
 
-	srv := serve.New(sys, serve.Config{
+	cfg := serve.Config{
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 		RetrainEvery:    *retrainEvery,
 		MaxExperience:   *maxExp,
-	})
+	}
+	if *trainerURL != "" {
+		cfg.Replica = &serve.ReplicaConfig{
+			TrainerURL: strings.TrimSuffix(*trainerURL, "/"),
+			FlushEvery: *flushEvery,
+			FlushBatch: *flushBatch,
+			MaxQueue:   *maxQueue,
+		}
+	}
+	srv := serve.New(sys, cfg)
+	if *trainerURL != "" {
+		// Join the fleet at the trainer's published snapshot. Best effort: a
+		// trainer that is down at startup leaves the replica serving from its
+		// current (restored or untrained) weights until the first successful
+		// /admin/snapshot — degraded, not down.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if v, err := srv.SyncSnapshot(ctx, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "neo-serve: warning: snapshot sync from %s failed (%v); serving local weights until the trainer returns\n", *trainerURL, err)
+		} else {
+			fmt.Printf("neo-serve: replica of %s, serving snapshot version %d\n", *trainerURL, v)
+		}
+		cancel()
+	}
 	srv.Start()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -136,6 +184,41 @@ func main() {
 	}
 	if *ckpt != "" {
 		fmt.Printf("neo-serve: final checkpoint written to %s\n", *ckpt)
+	}
+}
+
+// runRouter serves the thin consistent-hash router: no database, no
+// network weights — just SpecKey sharding and ring-order failover over the
+// replica fleet.
+func runRouter(addr, list string) {
+	var fleet []string
+	for _, u := range strings.Split(list, ",") {
+		if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+			fleet = append(fleet, u)
+		}
+	}
+	rt, err := cluster.NewRouter(fleet, proto.Client{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("neo-serve: routing over %d replicas\n", len(fleet))
+	httpSrv := &http.Server{Addr: addr, Handler: rt}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("neo-serve: listening on %s\n", addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("neo-serve: %v, shutting down ...\n", sig)
+	case err := <-errCh:
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "neo-serve: shutdown:", err)
 	}
 }
 

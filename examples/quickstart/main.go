@@ -133,4 +133,10 @@ func main() {
 	if f32Plan.String() == before.String() {
 		fmt.Println("float32 serving chooses the identical plan.")
 	}
+
+	// From here the system scales out as a service: cmd/neo-serve exposes
+	// /optimize + /feedback over HTTP, and a replicated fleet with a shared
+	// trainer is a flag away — see OPERATIONS.md at the repo root and
+	// examples/distributed_serving for the full tour.
+	fmt.Println("\nnext: go run ./examples/distributed_serving (see OPERATIONS.md)")
 }

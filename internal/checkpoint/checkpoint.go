@@ -30,6 +30,13 @@
 // caches (rebuilt on demand; plans are re-searched bit-identically from the
 // restored weights), and the engine's execution-noise stream position (only
 // simulated-latency noise depends on it, never plan choice).
+//
+// The container doubles as the wire artifact of the distributed serving
+// tier: trainers publish snapshots and replicas ship experience batches
+// (SaveExperience/LoadExperience) as NEOCKPT1 containers over HTTP, so a
+// network payload gets exactly the CRC and version checks a file does. The
+// byte-level layout is frozen as a stable protocol in FORMAT.md next to
+// this package.
 package checkpoint
 
 import (

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"neo/internal/cluster/proto"
+)
+
+// stubReplica fakes the replica surface the coordinator drives: /stats with
+// a quality window and /admin/snapshot that records loads. regress makes the
+// post-load window look worse than the pre-load one.
+type stubReplica struct {
+	mu      sync.Mutex
+	version uint64
+	loads   []uint64
+	regress bool
+	failNow bool
+	quality proto.QualityStats
+	srv     *httptest.Server
+}
+
+func newStubReplica(version uint64) *stubReplica {
+	sr := &stubReplica{version: version}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		sr.mu.Lock()
+		st := proto.ReplicaStats{NetVersion: sr.version, Cluster: &proto.ClusterStats{Role: "replica", Quality: sr.quality}}
+		sr.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("POST /admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var req proto.SnapshotRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		sr.mu.Lock()
+		if sr.failNow {
+			sr.mu.Unlock()
+			http.Error(w, `{"error":"trainer unreachable"}`, http.StatusBadGateway)
+			return
+		}
+		sr.version = req.Version
+		sr.loads = append(sr.loads, req.Version)
+		// Loading archives the window, exactly like a real replica.
+		mean := 10.0
+		if sr.regress {
+			mean = 30.0
+		}
+		sr.quality = proto.QualityStats{
+			WindowFeedbacks: 10, WindowMeanLatencyMS: mean,
+			PrevWindowFeedbacks: 10, PrevWindowMeanMS: 10.0,
+		}
+		sr.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(proto.SnapshotResponse{NetVersion: req.Version})
+	})
+	sr.srv = httptest.NewServer(mux)
+	return sr
+}
+
+func (sr *stubReplica) state() (uint64, []uint64) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.version, append([]uint64(nil), sr.loads...)
+}
+
+// TestCoordinatorPromotes pins the happy path of the rollout state machine:
+// canary the version on the first replica, observe a healthy quality window,
+// promote to the rest of the fleet.
+func TestCoordinatorPromotes(t *testing.T) {
+	a, b := newStubReplica(5), newStubReplica(5)
+	defer a.srv.Close()
+	defer b.srv.Close()
+	c := NewCoordinator(RolloutConfig{
+		Replicas:     []string{a.srv.URL, b.srv.URL},
+		CanaryWait:   300 * time.Millisecond,
+		MinFeedbacks: 1,
+		Client:       fastClient(),
+	})
+	promoted, err := c.Rollout(nil, 6)
+	if err != nil || !promoted {
+		t.Fatalf("rollout: promoted=%v err=%v", promoted, err)
+	}
+	if va, _ := a.state(); va != 6 {
+		t.Fatalf("canary at version %d, want 6", va)
+	}
+	if vb, _ := b.state(); vb != 6 {
+		t.Fatalf("fleet replica at version %d, want 6", vb)
+	}
+	st := c.Status()
+	if st.Phase != "idle" || st.Promoted != 6 || st.Promotions != 1 || st.Rollbacks != 0 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+// TestCoordinatorRollsBackOnRegression pins the safety half: a canary whose
+// quality window regresses beyond tolerance is rolled back to its previous
+// version, the rest of the fleet never sees the bad version, and the version
+// is barred from re-canarying.
+func TestCoordinatorRollsBackOnRegression(t *testing.T) {
+	a, b := newStubReplica(5), newStubReplica(5)
+	defer a.srv.Close()
+	defer b.srv.Close()
+	a.regress = true // 30ms canary mean vs 10ms baseline: past default 25% tolerance
+	c := NewCoordinator(RolloutConfig{
+		Replicas:     []string{a.srv.URL, b.srv.URL},
+		CanaryWait:   300 * time.Millisecond,
+		MinFeedbacks: 1,
+		Client:       fastClient(),
+	})
+	promoted, err := c.Rollout(nil, 6)
+	if err != nil || promoted {
+		t.Fatalf("regressing rollout: promoted=%v err=%v, want clean rollback", promoted, err)
+	}
+	va, loadsA := a.state()
+	if va != 5 {
+		t.Fatalf("canary left at version %d after rollback, want 5", va)
+	}
+	if len(loadsA) != 2 || loadsA[0] != 6 || loadsA[1] != 5 {
+		t.Fatalf("canary load sequence %v, want [6 5]", loadsA)
+	}
+	if _, loadsB := b.state(); len(loadsB) != 0 {
+		t.Fatalf("bad version reached a non-canary replica: %v", loadsB)
+	}
+	st := c.Status()
+	if st.Rollbacks != 1 || st.Promotions != 0 || len(st.BadVersions) != 1 || st.BadVersions[0] != 6 {
+		t.Fatalf("status %+v", st)
+	}
+	// Barred: the same version never re-canaries.
+	if _, err := c.Rollout(nil, 6); err == nil {
+		t.Fatal("rolled-back version was allowed to re-canary")
+	}
+	// A newer version still rolls out (the stub regresses every load, so
+	// tolerate by raising Tolerance).
+	c2 := NewCoordinator(RolloutConfig{
+		Replicas:     []string{a.srv.URL, b.srv.URL},
+		Tolerance:    5.0,
+		CanaryWait:   300 * time.Millisecond,
+		MinFeedbacks: 1,
+		Client:       fastClient(),
+	})
+	if promoted, err := c2.Rollout(nil, 7); err != nil || !promoted {
+		t.Fatalf("tolerant rollout of 7: promoted=%v err=%v", promoted, err)
+	}
+}
+
+// TestCoordinatorCanaryRefusal pins that a canary that cannot load the
+// snapshot aborts the rollout with an error and no fleet-wide damage.
+func TestCoordinatorCanaryRefusal(t *testing.T) {
+	a, b := newStubReplica(5), newStubReplica(5)
+	defer a.srv.Close()
+	defer b.srv.Close()
+	a.failNow = true
+	c := NewCoordinator(RolloutConfig{
+		Replicas:     []string{a.srv.URL, b.srv.URL},
+		CanaryWait:   50 * time.Millisecond,
+		MinFeedbacks: 1,
+		Client:       fastClient(),
+	})
+	if promoted, err := c.Rollout(nil, 6); err == nil || promoted {
+		t.Fatalf("rollout with refusing canary: promoted=%v err=%v, want error", promoted, err)
+	}
+	if _, loadsB := b.state(); len(loadsB) != 0 {
+		t.Fatalf("fleet touched despite canary refusal: %v", loadsB)
+	}
+	if st := c.Status(); st.Phase != "idle" {
+		t.Fatalf("coordinator stuck in phase %q", st.Phase)
+	}
+	// One rollout at a time: a second attempt while one is in flight fails
+	// with the busy sentinel.
+	c.mu.Lock()
+	c.phase = "canary"
+	c.mu.Unlock()
+	if _, err := c.Rollout(nil, 9); !errors.Is(err, ErrRolloutBusy) {
+		t.Fatalf("concurrent rollout: got %v, want ErrRolloutBusy", err)
+	}
+}

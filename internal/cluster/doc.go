@@ -1,0 +1,23 @@
+// Package cluster implements the control plane of the distributed serving
+// tier: the neo-trainer daemon (Trainer), the rollout coordinator that
+// canaries and promotes snapshots across a replica fleet (Coordinator), and
+// a thin consistent-hash router that shards client traffic over the
+// replicas' plan caches (Router).
+//
+// The tier splits the paper's learning loop across processes. N stateless
+// neo-serve replicas score plans from read-only value-network snapshots and
+// forward the (query, plan, latency) experience their /feedback endpoints
+// collect to one Trainer, which owns the experience pool and the training
+// loop. Every retraining round publishes a new snapshot — a NEOCKPT1
+// container, the same CRC-checked artifact checkpoints use on disk — that
+// replicas pull over HTTP. The Coordinator then rolls the version out:
+// canary on one replica, compare the plan-quality window in its /stats
+// against the pre-canary window, promote fleet-wide on parity or roll back
+// (and bar the version) on regression.
+//
+// Wire types live in the leaf package internal/cluster/proto, consistent
+// hashing in internal/cluster/ring; the serving daemon itself is
+// internal/serve (replica mode), and pkg/neo.Client is the fleet-aware
+// client library. See OPERATIONS.md at the repository root for deployment,
+// failure modes and the rollout procedure.
+package cluster

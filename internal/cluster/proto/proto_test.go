@@ -1,0 +1,139 @@
+package proto
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func spec(id string, rels []string, joins []JoinSpec, preds []PredicateSpec) QuerySpec {
+	return QuerySpec{ID: id, Relations: rels, Joins: joins, Predicates: preds}
+}
+
+// TestSpecKeyCanonical pins that the routing key ignores IDs and every
+// ordering degree of freedom a client has, while distinguishing genuinely
+// different queries — the property that makes plan-cache sharding stable.
+func TestSpecKeyCanonical(t *testing.T) {
+	a := spec("q1", []string{"title", "movie_keyword"},
+		[]JoinSpec{{Left: "movie_keyword.movie_id", Right: "title.id"}},
+		[]PredicateSpec{
+			{Column: "title.production_year", Op: ">=", Value: json.RawMessage(`1990`)},
+			{Column: "title.kind", Op: "=", Value: json.RawMessage(`"movie"`)},
+		})
+	b := spec("something-else", []string{"movie_keyword", "title"},
+		[]JoinSpec{{Left: "title.id", Right: "movie_keyword.movie_id"}}, // sides swapped
+		[]PredicateSpec{
+			{Column: "title.kind", Op: "=", Value: json.RawMessage(`"movie"`)}, // order swapped
+			{Column: "title.production_year", Op: ">=", Value: json.RawMessage(`1990`)},
+		})
+	if SpecKey(&a) != SpecKey(&b) {
+		t.Fatalf("structurally identical specs key differently:\n  %s\n  %s", SpecKey(&a), SpecKey(&b))
+	}
+	c := a
+	c.Predicates = []PredicateSpec{
+		{Column: "title.production_year", Op: ">=", Value: json.RawMessage(`1991`)},
+		{Column: "title.kind", Op: "=", Value: json.RawMessage(`"movie"`)},
+	}
+	if SpecKey(&a) == SpecKey(&c) {
+		t.Fatal("different literals produced the same routing key")
+	}
+	d := a
+	d.Joins = nil
+	if SpecKey(&a) == SpecKey(&d) {
+		t.Fatal("dropping the join did not change the routing key")
+	}
+}
+
+// TestClientRetriesTransientFailures pins the retry/backoff contract: 5xx
+// and transport errors are retried, the call succeeds once the peer
+// recovers, and 4xx responses surface immediately with no retry burned.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "starting up", http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]int{"ok": 1})
+	}))
+	defer ts.Close()
+
+	c := &Client{Attempts: 4, Backoff: time.Millisecond}
+	var out map[string]int
+	if err := c.GetJSON(context.Background(), ts.URL, &out); err != nil {
+		t.Fatalf("call did not survive transient 503s: %v", err)
+	}
+	if out["ok"] != 1 || calls.Load() != 3 {
+		t.Fatalf("out=%v calls=%d", out, calls.Load())
+	}
+
+	calls.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"stale"}`, http.StatusConflict)
+	}))
+	defer ts2.Close()
+	err := c.PostJSON(context.Background(), ts2.URL, map[string]int{}, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusConflict {
+		t.Fatalf("want StatusError 409, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("409 was retried %d times; must not be", calls.Load())
+	}
+	if Retryable(err) {
+		t.Error("409 reported retryable")
+	}
+}
+
+// TestClientExhaustsRetries pins that a dead peer costs exactly Attempts
+// tries and returns the last error instead of hanging.
+func TestClientExhaustsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	var calls atomic.Int64
+	wrapped := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	ts.Close()
+	defer wrapped.Close()
+
+	c := &Client{Attempts: 3, Backoff: time.Millisecond}
+	if err := c.GetJSON(context.Background(), wrapped.URL, nil); err == nil {
+		t.Fatal("call to a 500-ing peer succeeded")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("burned %d attempts, want 3", calls.Load())
+	}
+	// A closed listener (connection refused) is also retried, then surfaced.
+	if err := c.GetJSON(context.Background(), ts.URL, nil); err == nil {
+		t.Fatal("call to a closed listener succeeded")
+	}
+}
+
+// TestClientHonoursContext pins that cancellation cuts the backoff wait
+// short instead of sleeping it out.
+func TestClientHonoursContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := &Client{Attempts: 10, Backoff: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.GetJSON(ctx, ts.URL, nil)
+	if err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation took %v; the hour-long backoff was slept", time.Since(start))
+	}
+}

@@ -1,0 +1,343 @@
+// Replica mode: the serving half of the distributed tier. A replica scores
+// from a read-only snapshot pulled from a neo-trainer, never trains, and
+// forwards the experience its /feedback endpoint collects to the trainer in
+// batched NEOCKPT1 containers. Every RPC to the trainer goes through the
+// retrying proto.Client, and all failure paths degrade to frozen-snapshot
+// serving: a dead trainer costs forwarding (queued, then oldest-dropped),
+// never a failed client request.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neo/internal/checkpoint"
+	"neo/internal/cluster/proto"
+	"neo/internal/core"
+)
+
+// Replica-mode defaults; see ReplicaConfig.
+const (
+	defaultFlushEvery = 250 * time.Millisecond
+	defaultFlushBatch = 64
+	defaultMaxQueue   = 4096
+	// drainTimeout bounds the shutdown drain: a replica closing while its
+	// trainer is down must not hang forever holding its queued experience.
+	drainTimeout = 5 * time.Second
+)
+
+// ReplicaConfig switches the daemon into replica mode (Config.Replica).
+type ReplicaConfig struct {
+	// TrainerURL is the trainer's base URL, e.g. "http://trainer:7790".
+	TrainerURL string
+	// FlushEvery is the forwarder's flush interval (default 250ms). Each
+	// flush ships queued experience to the trainer in FlushBatch-sized
+	// containers.
+	FlushEvery time.Duration
+	// FlushBatch caps the entries per POST /experience container (default
+	// 64).
+	FlushBatch int
+	// MaxQueue bounds the forwarding queue (default 4096). When the trainer
+	// is down long enough to fill it, the oldest entries are dropped — the
+	// replica keeps serving; the drops surface in /stats.
+	MaxQueue int
+	// Client carries the retry/timeout/backoff knobs for every trainer RPC.
+	// The zero value picks the proto.Client defaults (3 attempts, 50ms
+	// doubling backoff, 10s per-attempt timeout).
+	Client proto.Client
+}
+
+func (c *ReplicaConfig) flushEvery() time.Duration {
+	if c.FlushEvery > 0 {
+		return c.FlushEvery
+	}
+	return defaultFlushEvery
+}
+
+func (c *ReplicaConfig) flushBatch() int {
+	if c.FlushBatch > 0 {
+		return c.FlushBatch
+	}
+	return defaultFlushBatch
+}
+
+func (c *ReplicaConfig) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return defaultMaxQueue
+}
+
+// replicaState is the Server's replica-mode side car: the forwarding queue,
+// the trainer client, and the plan-quality window the rollout coordinator
+// reads during a canary.
+type replicaState struct {
+	cfg    ReplicaConfig
+	client *proto.Client
+
+	forwarded     atomic.Uint64
+	forwardErrors atomic.Uint64
+	dropped       atomic.Uint64
+
+	mu      sync.Mutex
+	queue   []core.Entry
+	sealed  bool // set by drain: later feedback forwards synchronously
+	lastErr string
+
+	// Plan-quality window: observed feedback latencies since the last
+	// snapshot load. Loading a snapshot archives the running window into the
+	// prev fields, so a canary's quality (new weights) is compared against
+	// the same replica's quality under the old weights.
+	windowCount uint64
+	windowSum   float64
+	prevCount   uint64
+	prevSum     float64
+}
+
+func newReplicaState(cfg ReplicaConfig) *replicaState {
+	client := cfg.Client
+	return &replicaState{cfg: cfg, client: &client}
+}
+
+// enqueue appends an entry to the forwarding queue, dropping the oldest
+// entry when the queue is at its bound. It reports the queue depth after the
+// append and whether the queue accepted the entry (false once the shutdown
+// drain has sealed it).
+func (rs *replicaState) enqueue(e core.Entry) (depth int, queued bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.sealed {
+		return 0, false
+	}
+	if max := rs.cfg.maxQueue(); len(rs.queue) >= max {
+		over := len(rs.queue) - max + 1
+		rs.queue = rs.queue[over:]
+		rs.dropped.Add(uint64(over))
+	}
+	rs.queue = append(rs.queue, e)
+	return len(rs.queue), true
+}
+
+// takeBatch pops up to flushBatch entries from the queue head.
+func (rs *replicaState) takeBatch() []core.Entry {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := rs.cfg.flushBatch()
+	if n > len(rs.queue) {
+		n = len(rs.queue)
+	}
+	if n == 0 {
+		return nil
+	}
+	batch := make([]core.Entry, n)
+	copy(batch, rs.queue)
+	rs.queue = rs.queue[:copy(rs.queue, rs.queue[n:])]
+	return batch
+}
+
+// requeue puts a failed batch back at the queue head so the next flush
+// retries it in order, re-applying the queue bound from the front (newest
+// entries win, matching enqueue's drop-oldest policy).
+func (rs *replicaState) requeue(batch []core.Entry) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.queue = append(batch, rs.queue...)
+	if max := rs.cfg.maxQueue(); len(rs.queue) > max {
+		over := len(rs.queue) - max
+		rs.queue = rs.queue[over:]
+		rs.dropped.Add(uint64(over))
+	}
+}
+
+// forwardNow ships one batch to the trainer synchronously, recording the
+// outcome in the replica counters. It is the single RPC path for the
+// forwarder loop, the shutdown drain and post-drain stragglers.
+func (rs *replicaState) forwardNow(ctx context.Context, batch []core.Entry) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.SaveExperience(&buf, batch); err != nil {
+		// Encoding failure is a programming error, not a trainer outage;
+		// surface it in /stats rather than retrying forever.
+		rs.recordForwardError(err)
+		rs.dropped.Add(uint64(len(batch)))
+		return err
+	}
+	var resp proto.ExperienceResponse
+	if err := rs.client.PostBytes(ctx, rs.cfg.TrainerURL+"/experience", buf.Bytes(), &resp); err != nil {
+		rs.recordForwardError(err)
+		return err
+	}
+	rs.forwarded.Add(uint64(len(batch)))
+	rs.mu.Lock()
+	rs.lastErr = ""
+	rs.mu.Unlock()
+	return nil
+}
+
+func (rs *replicaState) recordForwardError(err error) {
+	rs.forwardErrors.Add(1)
+	rs.mu.Lock()
+	rs.lastErr = err.Error()
+	rs.mu.Unlock()
+}
+
+// forwardLoop is the replica's background forwarder: every flushEvery it
+// drains the queue in flushBatch-sized containers until empty or the trainer
+// fails, in which case the batch is requeued and retried next tick — the
+// degradation ramp for a dead trainer is queue → drop-oldest, never request
+// failures.
+func (rs *replicaState) forwardLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(rs.cfg.flushEvery())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for {
+				batch := rs.takeBatch()
+				if len(batch) == 0 {
+					break
+				}
+				if err := rs.forwardNow(context.Background(), batch); err != nil {
+					rs.requeue(batch)
+					break
+				}
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// drain seals the queue and makes a final bounded attempt to hand every
+// queued entry to the trainer. Called from Close after the forwarder loop
+// has stopped; entries that still cannot be delivered are counted dropped.
+func (rs *replicaState) drain() {
+	rs.mu.Lock()
+	rs.sealed = true
+	rest := rs.queue
+	rs.queue = nil
+	rs.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	n := rs.cfg.flushBatch()
+	for len(rest) > 0 {
+		batch := rest
+		if len(batch) > n {
+			batch = rest[:n]
+		}
+		if err := rs.forwardNow(ctx, batch); err != nil {
+			rs.dropped.Add(uint64(len(rest)))
+			return
+		}
+		rest = rest[len(batch):]
+	}
+}
+
+// clusterStats snapshots the replica-side counters for /stats.
+func (rs *replicaState) clusterStats(netVersion uint64) proto.ClusterStats {
+	rs.mu.Lock()
+	depth := len(rs.queue)
+	lastErr := rs.lastErr
+	q := proto.QualityStats{
+		WindowFeedbacks:     rs.windowCount,
+		PrevWindowFeedbacks: rs.prevCount,
+	}
+	if rs.windowCount > 0 {
+		q.WindowMeanLatencyMS = rs.windowSum / float64(rs.windowCount)
+	}
+	if rs.prevCount > 0 {
+		q.PrevWindowMeanMS = rs.prevSum / float64(rs.prevCount)
+	}
+	rs.mu.Unlock()
+	return proto.ClusterStats{
+		Role:             "replica",
+		Trainer:          rs.cfg.TrainerURL,
+		SnapshotVersion:  netVersion,
+		Queued:           depth,
+		Forwarded:        rs.forwarded.Load(),
+		Dropped:          rs.dropped.Load(),
+		ForwardErrors:    rs.forwardErrors.Load(),
+		LastForwardError: lastErr,
+		Quality:          q,
+	}
+}
+
+// recordLatency feeds one observed feedback latency into the quality window.
+func (rs *replicaState) recordLatency(ms float64) {
+	rs.mu.Lock()
+	rs.windowCount++
+	rs.windowSum += ms
+	rs.mu.Unlock()
+}
+
+// archiveWindow rolls the running quality window into the prev fields and
+// starts a fresh one. Called under the Server's swapMu write lock as part of
+// a snapshot load, so the window boundary is exact: every latency recorded
+// before the new weights serve lands in prev, everything after in the new
+// window.
+func (rs *replicaState) archiveWindow() {
+	rs.mu.Lock()
+	rs.prevCount, rs.prevSum = rs.windowCount, rs.windowSum
+	rs.windowCount, rs.windowSum = 0, 0
+	rs.mu.Unlock()
+}
+
+// SyncSnapshot pulls the trainer's current snapshot (or the given version;
+// zero means latest) and loads it, replacing the replica's weights, plan
+// cache and snapshot version. It is called at replica startup to join the
+// fleet at the published version, and by POST /admin/snapshot when the
+// rollout coordinator canaries or promotes a version. Returns the snapshot
+// version now being served. Standalone servers return an error.
+func (s *Server) SyncSnapshot(ctx context.Context, version uint64) (uint64, error) {
+	if s.repl == nil {
+		return 0, fmt.Errorf("serve: not a replica: no trainer to sync from")
+	}
+	url := s.repl.cfg.TrainerURL + "/snapshot"
+	if version > 0 {
+		url = fmt.Sprintf("%s?version=%d", url, version)
+	}
+	payload, _, err := s.repl.client.GetBytes(ctx, url)
+	if err != nil {
+		return 0, fmt.Errorf("serve: fetching snapshot: %w", err)
+	}
+	// The write side of swapMu: in-flight searches finish on the old
+	// weights, the load replaces them in place, searches after the unlock
+	// see the new snapshot (and a reset plan cache) atomically.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if err := s.sys.LoadCheckpoint(bytes.NewReader(payload)); err != nil {
+		return 0, fmt.Errorf("serve: loading snapshot: %w", err)
+	}
+	s.repl.archiveWindow()
+	return s.sys.Neo.NetVersion(), nil
+}
+
+// handleAdminSnapshot is POST /admin/snapshot (replica mode only): fetch a
+// published snapshot from the trainer and serve from it. The rollout
+// coordinator drives it — canary on one replica, promote on the rest.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req proto.SnapshotRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding snapshot request: %w", err))
+			return
+		}
+	}
+	version, err := s.SyncSnapshot(r.Context(), req.Version)
+	if err != nil {
+		// The trainer is unreachable or served a damaged container; the
+		// replica keeps its current snapshot — degraded, not down.
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, proto.SnapshotResponse{NetVersion: version})
+}

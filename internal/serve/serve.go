@@ -1,18 +1,30 @@
-// Package serve implements the neo-serve online-learning daemon: a
-// long-running HTTP front end over a trained pkg/neo System that serves
-// plans from the sharded network snapshot and plan cache, ingests observed
-// latencies as experience, retrains the value network in the background
-// every N feedbacks (publishing new weights with an atomic snapshot swap
-// that invalidates the plan cache), and checkpoints the learned state
-// periodically and on graceful shutdown — so a warm restart serves
-// bit-identical plans.
+// Package serve implements the neo-serve daemon: an HTTP front end over a
+// trained pkg/neo System that serves plans from the value-network snapshot
+// and plan cache. It runs in two modes.
+//
+// Standalone (Config.Replica nil) is the original online-learning daemon:
+// /feedback latencies land in the local experience pool, the value network
+// retrains in the background every N feedbacks (publishing new weights with
+// an atomic snapshot swap that invalidates the plan cache), and the learned
+// state is checkpointed periodically and on graceful shutdown — so a warm
+// restart serves bit-identical plans.
+//
+// Replica (Config.Replica set) is the serving half of the distributed tier:
+// the daemon scores from a read-only snapshot it pulls from a neo-trainer,
+// never trains, and forwards /feedback experience to the trainer in batched,
+// CRC-checked containers with retry/timeout/backoff — a dead trainer
+// degrades the replica to frozen-snapshot serving, never to failed requests.
+// Snapshot loads arrive via POST /admin/snapshot (driven by the trainer's
+// rollout coordinator: canary one replica, compare /stats plan quality,
+// promote fleet-wide). See OPERATIONS.md for the deployment guide.
 //
 // Endpoints:
 //
-//	POST /optimize  {query spec}                  -> chosen plan
-//	POST /feedback  {query spec, latency_ms}      -> experience/retrain status
-//	GET  /stats                                   -> serving counters
-//	GET  /healthz                                 -> 200 ok
+//	POST /optimize        {query spec}              -> chosen plan
+//	POST /feedback        {query spec, latency_ms}  -> experience/queue status
+//	GET  /stats                                     -> serving counters
+//	GET  /healthz                                   -> 200 ok
+//	POST /admin/snapshot  {version}                 -> load a published snapshot (replica mode)
 package serve
 
 import (
@@ -25,6 +37,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neo/internal/cluster/proto"
+	"neo/internal/core"
 	"neo/pkg/neo"
 )
 
@@ -47,6 +61,11 @@ type Config struct {
 	// refuse to load implausibly large experience sections). Zero selects
 	// the default (100 000); negative disables trimming.
 	MaxExperience int
+	// Replica switches the daemon into replica mode: feedback is forwarded
+	// to the configured trainer instead of training locally, and snapshots
+	// arrive via /admin/snapshot. RetrainEvery is forced to zero — replicas
+	// never train. Nil selects the standalone online-learning mode.
+	Replica *ReplicaConfig
 }
 
 // defaultMaxExperience bounds the experience pool when Config.MaxExperience
@@ -72,6 +91,18 @@ type Server struct {
 	// ckptMu serializes Checkpoint calls (periodic loop vs shutdown).
 	ckptMu sync.Mutex
 
+	// swapMu orders snapshot loads against in-flight planning: /optimize and
+	// /feedback searches hold the read side, a replica's /admin/snapshot load
+	// (which replaces the network weights in place) holds the write side. In
+	// standalone mode the write side is never taken — retraining swaps are
+	// already atomic-pointer safe — so the RLock cost is a single uncontended
+	// atomic per request.
+	swapMu sync.RWMutex
+
+	// repl is the replica-mode state (forwarding queue, trainer client,
+	// quality window); nil in standalone mode.
+	repl *replicaState
+
 	// lifeMu guards closed and orders wg.Add against Close's wg.Wait: a
 	// handler still in flight after the HTTP drain times out must not Add to
 	// a WaitGroup another goroutine is Waiting on from zero.
@@ -89,6 +120,11 @@ func New(sys *neo.System, cfg Config) *Server {
 	if cfg.MaxExperience == 0 {
 		cfg.MaxExperience = defaultMaxExperience
 	}
+	if cfg.Replica != nil {
+		// Replicas never train: their weights come exclusively from trainer
+		// snapshots, so local retraining would fork the fleet's model state.
+		cfg.RetrainEvery = 0
+	}
 	s := &Server{sys: sys, cfg: cfg, mux: http.NewServeMux(), start: time.Now(), stop: make(chan struct{})}
 	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
@@ -96,18 +132,42 @@ func New(sys *neo.System, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if cfg.Replica != nil {
+		s.repl = newReplicaState(*cfg.Replica)
+		s.mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Start launches the periodic checkpoint loop (no-op without a path and
-// interval).
+// Start launches the background loops: the periodic checkpoint loop (when a
+// path and interval are configured) and, in replica mode, the experience
+// forwarder.
 func (s *Server) Start() {
-	if s.cfg.CheckpointPath == "" || s.cfg.CheckpointEvery <= 0 {
-		return
+	if s.cfg.CheckpointPath != "" && s.cfg.CheckpointEvery > 0 {
+		s.goRun(func() {
+			ticker := time.NewTicker(s.cfg.CheckpointEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					s.Checkpoint() // best effort; failures surface in /stats staying flat
+				case <-s.stop:
+					return
+				}
+			}
+		})
 	}
+	if s.repl != nil {
+		s.goRun(func() { s.repl.forwardLoop(s.stop) })
+	}
+}
+
+// goRun registers fn with the lifecycle WaitGroup and runs it in a
+// goroutine, refusing (silently) once shutdown has begun.
+func (s *Server) goRun(fn func()) {
 	s.lifeMu.Lock()
 	if s.closed {
 		s.lifeMu.Unlock()
@@ -117,22 +177,14 @@ func (s *Server) Start() {
 	s.lifeMu.Unlock()
 	go func() {
 		defer s.wg.Done()
-		ticker := time.NewTicker(s.cfg.CheckpointEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				s.Checkpoint() // best effort; failures surface in /stats staying flat
-			case <-s.stop:
-				return
-			}
-		}
+		fn()
 	}()
 }
 
 // Close stops the background loops, waits for any in-flight retraining
-// round's bookkeeping, and writes a final checkpoint — the graceful-shutdown
-// half of the serve lifecycle. Safe to call more than once.
+// round's bookkeeping, drains a replica's forwarding queue to the trainer,
+// and writes a final checkpoint — the graceful-shutdown half of the serve
+// lifecycle. Safe to call more than once.
 func (s *Server) Close() error {
 	var err error
 	s.once.Do(func() {
@@ -141,6 +193,11 @@ func (s *Server) Close() error {
 		s.lifeMu.Unlock()
 		close(s.stop)
 		s.wg.Wait()
+		if s.repl != nil {
+			// Final flush: queued experience a dying replica holds is the
+			// trainer's training signal — hand it over, don't drop it.
+			s.repl.drain()
+		}
 		err = s.Checkpoint()
 	})
 	return err
@@ -161,33 +218,23 @@ func (s *Server) Checkpoint() error {
 	return nil
 }
 
-// QuerySpec is the JSON representation of a query.
-type QuerySpec struct {
-	// ID labels the query in responses. Internally queries are always keyed
-	// by their structural signature, so reusing an ID across different query
-	// structures is harmless.
-	ID string `json:"id,omitempty"`
-	// Relations lists the base tables.
-	Relations []string `json:"relations"`
-	// Joins are equi-join predicates, each side a "table.column" reference.
-	Joins []JoinSpec `json:"joins,omitempty"`
-	// Predicates are single-table filters.
-	Predicates []PredicateSpec `json:"predicates,omitempty"`
-}
-
-// JoinSpec is one equi-join predicate.
-type JoinSpec struct {
-	Left  string `json:"left"`
-	Right string `json:"right"`
-}
-
-// PredicateSpec is one single-table filter. Value is a JSON number (integer
-// column) or string (string column).
-type PredicateSpec struct {
-	Column string          `json:"column"`
-	Op     string          `json:"op"`
-	Value  json.RawMessage `json:"value"`
-}
+// The JSON wire types are owned by the cluster protocol package, so the
+// router, the trainer's coordinator and pkg/neo.Client speak exactly the
+// format this daemon serves. The aliases keep the serve API unchanged.
+type (
+	// QuerySpec is the JSON representation of a query.
+	QuerySpec = proto.QuerySpec
+	// JoinSpec is one equi-join predicate.
+	JoinSpec = proto.JoinSpec
+	// PredicateSpec is one single-table filter.
+	PredicateSpec = proto.PredicateSpec
+	// OptimizeResponse is the /optimize reply.
+	OptimizeResponse = proto.OptimizeResponse
+	// FeedbackRequest reports the observed latency of a query's plan.
+	FeedbackRequest = proto.FeedbackRequest
+	// FeedbackResponse is the /feedback reply.
+	FeedbackResponse = proto.FeedbackResponse
+)
 
 var cmpOps = map[string]neo.CmpOp{
 	"=": neo.Eq, "==": neo.Eq, "<>": neo.Ne, "!=": neo.Ne,
@@ -258,30 +305,17 @@ func parseValue(raw json.RawMessage) (neo.Value, error) {
 	return neo.Value{}, fmt.Errorf("value %s is neither an integer nor a string", string(raw))
 }
 
-// OptimizeResponse is the /optimize reply.
-type OptimizeResponse struct {
-	ID string `json:"id"`
-	// Plan is the chosen plan in the paper's notation.
-	Plan string `json:"plan"`
-	// SQL is the query rendered back, for logging.
-	SQL string `json:"sql"`
-	// Score is the value network's cost estimate for the plan.
-	Score float64 `json:"score"`
-	// Expansions is the number of search expansions spent (0 on cache hits).
-	Expansions int `json:"expansions"`
-	// NetVersion identifies the network snapshot the plan came from. Echo it
-	// in the feedback's net_version so a latency measured for this plan is
-	// never attached to a plan from a later network.
-	NetVersion uint64 `json:"net_version"`
-}
-
 // optimizeStable plans q and returns the network version the plan was served
 // from. A background snapshot swap can race the search; in that case the
 // search is retried so the reported version really is the plan's version.
 // After a few retries (swaps arriving faster than searches complete — not a
 // realistic steady state) the latest attempt is returned labelled with its
-// pre-search version, which the plan is at least as new as.
+// pre-search version, which the plan is at least as new as. The read side of
+// swapMu keeps a replica's in-place snapshot load from replacing weights
+// mid-search.
 func (s *Server) optimizeStable(q *neo.Query) (*neo.Plan, *neo.SearchResult, uint64, error) {
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	for attempt := 0; ; attempt++ {
 		v := s.sys.Neo.NetVersion()
 		p, res, err := s.sys.Optimize(q)
@@ -325,27 +359,6 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// FeedbackRequest reports the observed latency of a query's plan.
-type FeedbackRequest struct {
-	Query     QuerySpec `json:"query"`
-	LatencyMS float64   `json:"latency_ms"`
-	// NetVersion is the net_version the client received from /optimize for
-	// the plan it measured. When set, feedback whose plan has since been
-	// superseded by a retraining round is rejected with 409 Conflict instead
-	// of mislabeling the old plan's latency as the new plan's. Omit (zero)
-	// for best-effort attachment to the currently served plan.
-	NetVersion uint64 `json:"net_version,omitempty"`
-}
-
-// FeedbackResponse is the /feedback reply.
-type FeedbackResponse struct {
-	// Experience is the experience-pool size after the addition.
-	Experience int `json:"experience"`
-	// RetrainTriggered reports whether this feedback started a background
-	// retraining round.
-	RetrainTriggered bool `json:"retrain_triggered"`
-}
-
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -382,6 +395,22 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, fmt.Errorf(
 			"stale feedback: plan was measured under net version %d but plans are now served from version %d; re-optimize and re-measure",
 			req.NetVersion, version))
+		return
+	}
+	if s.repl != nil {
+		// Replica path: the entry goes to the trainer, not a local pool. The
+		// quality window feeds the rollout coordinator's canary comparison.
+		s.feedbacks.Add(1)
+		s.repl.recordLatency(req.LatencyMS)
+		entry := core.Entry{Query: q, Plan: p, Latency: req.LatencyMS}
+		depth, queued := s.repl.enqueue(entry)
+		if !queued {
+			// The shutdown drain already ran; forward this straggler directly
+			// (best effort) rather than silently discarding an accepted
+			// request's experience.
+			s.repl.forwardNow(r.Context(), []core.Entry{entry})
+		}
+		writeJSON(w, FeedbackResponse{Experience: depth, Queued: true})
 		return
 	}
 	s.sys.Neo.Experience.Add(q, p, req.LatencyMS)
@@ -457,6 +486,9 @@ type Stats struct {
 	// evictions, bytes read from the heap files. Omitted (nil) when the
 	// system runs a simulated engine, which touches no storage.
 	Storage *neo.StorageStats `json:"storage,omitempty"`
+	// Cluster reports the replica-mode state — forwarding queue, trainer
+	// link health, plan-quality window. Omitted (nil) in standalone mode.
+	Cluster *proto.ClusterStats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -467,6 +499,11 @@ func (s *Server) snapshotStats() Stats {
 	var storagePtr *neo.StorageStats
 	if st, ok := s.sys.StorageStats(); ok {
 		storagePtr = &st
+	}
+	var clusterPtr *proto.ClusterStats
+	if s.repl != nil {
+		cs := s.repl.clusterStats(s.sys.Neo.NetVersion())
+		clusterPtr = &cs
 	}
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -482,6 +519,7 @@ func (s *Server) snapshotStats() Stats {
 		Fusion:        s.sys.FusionStats(),
 		Snapshot:      s.sys.SnapshotInfo(),
 		Storage:       storagePtr,
+		Cluster:       clusterPtr,
 	}
 }
 

@@ -1,0 +1,99 @@
+// Command mdcheck validates the repository's markdown cross-references: every
+// inline link or image whose target is a relative path must point at a file
+// or directory that exists. External links (http, https, mailto) are not
+// fetched — CI should not fail on someone else's outage — and pure #fragment
+// links are skipped. Run from the repo root:
+//
+//	go run ./internal/tools/mdcheck [dir]
+//
+// Exits nonzero listing every broken link, so the CI docs job catches a
+// renamed file whose references were not updated.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) /
+// ![alt](target). Targets with spaces or nested parens are not used in this
+// repo and are out of scope.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// codeFenceRE matches fenced code-block delimiters; links inside fences are
+// examples, not references.
+var codeFenceRE = regexp.MustCompile("^\\s*```")
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var broken []string
+	checked := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		inFence := false
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			if codeFenceRE.MatchString(line) {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") ||
+					strings.HasPrefix(target, "mailto:") ||
+					strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				checked++
+				if _, err := os.Stat(resolved); err != nil {
+					broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (resolved %s)",
+						path, lineNo+1, m[1], resolved))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdcheck:", err)
+		os.Exit(2)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Printf("mdcheck: %d relative links OK\n", checked)
+}

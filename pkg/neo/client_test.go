@@ -1,0 +1,108 @@
+package neo
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"neo/internal/cluster/proto"
+)
+
+// stubFleet spins up n fake replicas that tag replies with their index.
+func stubFleet(t *testing.T, n int) ([]*httptest.Server, []string) {
+	t.Helper()
+	var servers []*httptest.Server
+	var urls []string
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /optimize", func(w http.ResponseWriter, r *http.Request) {
+			_ = json.NewEncoder(w).Encode(OptimizeResponse{ID: name, NetVersion: 3})
+		})
+		mux.HandleFunc("POST /feedback", func(w http.ResponseWriter, r *http.Request) {
+			var req proto.FeedbackRequest
+			_ = json.NewDecoder(r.Body).Decode(&req)
+			if req.NetVersion != 0 && req.NetVersion != 3 {
+				http.Error(w, `{"error":"stale"}`, http.StatusConflict)
+				return
+			}
+			_ = json.NewEncoder(w).Encode(FeedbackResponse{Experience: 1, Queued: true})
+		})
+		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+			_ = json.NewEncoder(w).Encode(proto.ReplicaStats{NetVersion: 3})
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		servers = append(servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	return servers, urls
+}
+
+// TestClientRoutesStablyAndFailsOver pins the fleet client's contract:
+// optimize and feedback for one query structure land on the same replica
+// every time, a dead replica is failed over in ring order, and a 4xx answer
+// surfaces instead of burning failover attempts.
+func TestClientRoutesStablyAndFailsOver(t *testing.T) {
+	servers, urls := stubFleet(t, 3)
+	c, err := NewClient(ClientConfig{Replicas: urls,
+		RPC: proto.Client{Attempts: 1, Backoff: time.Millisecond, Timeout: time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := &QuerySpec{Relations: []string{"title", "movie_keyword"},
+		Joins: []JoinSpec{{Left: "title.id", Right: "movie_keyword.movie_id"}}}
+
+	first, err := c.Optimize(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		resp, err := c.Optimize(ctx, spec)
+		if err != nil || resp.ID != first.ID {
+			t.Fatalf("routing moved: %v %v (want %s)", resp, err, first.ID)
+		}
+	}
+	if fb, err := c.Feedback(ctx, spec, 12, first.NetVersion); err != nil || !fb.Queued {
+		t.Fatalf("feedback: %v %v", fb, err)
+	}
+	// Route agrees with where requests actually landed.
+	owner := c.Route(spec)
+	ownerIdx := -1
+	for i, u := range urls {
+		if u == owner {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 || first.ID != string(rune('a'+ownerIdx)) {
+		t.Fatalf("Route says %q but replies came from %q", owner, first.ID)
+	}
+
+	// Dead owner: the call fails over and still succeeds.
+	servers[ownerIdx].Close()
+	resp, err := c.Optimize(ctx, spec)
+	if err != nil {
+		t.Fatalf("optimize with dead owner: %v", err)
+	}
+	if resp.ID == first.ID {
+		t.Fatal("reply claims to come from the dead replica")
+	}
+
+	// 4xx is the answer, not a failover trigger.
+	if _, err := c.Feedback(ctx, spec, 12, 999); err == nil || proto.Retryable(err) {
+		t.Fatalf("stale feedback: got %v, want a non-retryable error", err)
+	}
+
+	// Stats omits the dead replica, reports the rest.
+	stats := c.Stats(ctx)
+	if len(stats) != 2 {
+		t.Fatalf("stats from %d replicas, want 2 (one dead)", len(stats))
+	}
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}

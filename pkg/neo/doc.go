@@ -1,0 +1,46 @@
+// Package neo is the public API of the Neo reproduction: an end-to-end
+// learned query optimizer (Marcus et al., VLDB 2019) together with the
+// simulated substrate it runs on (synthetic databases, execution engines,
+// classical expert optimizers, workload generators).
+//
+// # In-process use
+//
+// The central entry point is Open, which assembles a System: a synthetic
+// database, an execution engine (simulated cost models or the disk backend),
+// the classical optimizers, and a Neo instance ready to be bootstrapped from
+// the expert and refined with reinforcement learning. The core loop is
+//
+//	sys, _ := neo.Open(neo.Config{Dataset: "imdb", Engine: "postgres"})
+//	wl, _ := sys.GenerateWorkload(16)
+//	_ = sys.Bootstrap(wl.Queries)       // imitate the expert (paper §3.1)
+//	p, res, _ := sys.Optimize(q)        // best-first search over the value net
+//	lat, _ := sys.Execute(p)            // run it
+//	sys.Neo.Experience.Add(q, p, lat)   // close the loop (paper Fig. 2)
+//
+// SaveCheckpoint/LoadCheckpoint make the learned state durable; a restored
+// System serves bit-identical plans. See examples/ for complete programs.
+//
+// # Serving over HTTP
+//
+// The same System serves as a daemon through internal/serve (the neo-serve
+// command): /optimize plans from the frozen value-network snapshot and plan
+// cache, /feedback feeds observed latencies back into learning. For one
+// process that is the whole story — feedback retrains locally and new
+// weights swap in atomically.
+//
+// At fleet scale the learning loop splits across processes. N stateless
+// neo-serve replicas score from read-only snapshots and forward experience
+// to one neo-trainer (internal/cluster), which retrains and publishes
+// versioned snapshots that a rollout coordinator canaries and promotes.
+// Client is this package's door into that tier: it consistent-hashes each
+// query's structure onto the replica fleet — so the fleet's plan caches
+// partition the workload — sends feedback to the replica that served the
+// plan, and fails over in ring order when a replica is down:
+//
+//	c, _ := neo.NewClient(neo.ClientConfig{Replicas: []string{"http://r1:8080", "http://r2:8080"}})
+//	resp, _ := c.Optimize(ctx, &neo.QuerySpec{Relations: ...})
+//	_, _ = c.Feedback(ctx, spec, measuredMS, resp.NetVersion)
+//
+// Deployment, rollout and failure modes are documented in OPERATIONS.md at
+// the repository root.
+package neo

@@ -1,12 +1,3 @@
-// Package neo is the public API of the Neo reproduction: an end-to-end
-// learned query optimizer (Marcus et al., VLDB 2019) together with the
-// simulated substrate it runs on (synthetic databases, execution engines,
-// classical expert optimizers, workload generators).
-//
-// The central entry point is Open, which assembles a System: a synthetic
-// database, a simulated execution engine, the classical optimizers, and a
-// Neo instance ready to be bootstrapped from the expert and refined with
-// reinforcement learning. See examples/ for complete programs.
 package neo
 
 import (
