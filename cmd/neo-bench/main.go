@@ -1,7 +1,8 @@
 // Command neo-bench runs the repo's performance benchmarks (value-network
-// scoring, value-network training, episode evaluation), emits one
-// BENCH_<suite>.json per suite, and optionally enforces the
-// benchmark-regression gate against committed baselines.
+// scoring, value-network training, episode evaluation, planning latency,
+// fused serving, disk execution), emits one BENCH_<suite>.json per suite,
+// and optionally enforces the benchmark-regression gate against committed
+// baselines.
 //
 // Usage:
 //
@@ -114,6 +115,12 @@ func ratioChecks(s bench.Suite, defaultFloor float64) []string {
 			{slow: "scoring/batched", fast: "scoring/f32"},
 		},
 		"train": {{slow: "training/per-sample", fast: "training/batched"}},
+		// The routing tentpole's core claim: the statistics-free greedy
+		// planner must undercut the full best-first search's median planning
+		// latency by >= 50x on the same routed queries. The gap is
+		// architectural (no value-network inference, no frontier) and holds
+		// on any runner.
+		"plan": {{slow: "plan/bestfirst-p50", fast: "plan/fastpath-p50", floor: 50.0}},
 		"serve": {
 			{slow: "serving/private", fast: "serving/fused"},
 			{slow: "serving/private", fast: "serving/fused-f32"},

@@ -18,9 +18,12 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"neo/internal/checkpoint"
+	"neo/internal/fastpath"
 	"neo/internal/plan"
+	"neo/internal/route"
 	"neo/internal/sched"
 	"neo/internal/search"
 	"neo/internal/treeconv"
@@ -43,7 +46,7 @@ type Suite struct {
 }
 
 // Names lists the available suites in run order.
-func Names() []string { return []string{"score", "train", "episode", "serve", "exec"} }
+func Names() []string { return []string{"score", "train", "episode", "plan", "serve", "exec"} }
 
 // Run executes one suite by name.
 func Run(name string) (Suite, error) {
@@ -54,6 +57,8 @@ func Run(name string) (Suite, error) {
 		return Training(), nil
 	case "episode":
 		return Episode(), nil
+	case "plan":
+		return Planning(), nil
 	case "serve":
 		return Serving(), nil
 	case "exec":
@@ -226,6 +231,130 @@ func Episode() Suite {
 			}
 		}),
 	}}
+}
+
+// Planning measures per-query planning latency on the episode fixture's
+// workload: the statistics-free greedy fast path against the full DNN-guided
+// best-first search, over exactly the queries the auto router sends to the
+// fast path. Both sides are reported as P50/P99 percentiles (NsPerOp holds
+// the percentile) rather than testing.Benchmark means, because the routing
+// tentpole's claim is a latency-distribution one: the microsecond greedy
+// ordering must undercut the millisecond search by orders of magnitude, not
+// on average but on every routed query. The ratio gate in cmd/neo-bench pins
+// plan/bestfirst-p50 / plan/fastpath-p50 >= 50.
+func Planning() Suite {
+	sys, routed := planFixture()
+
+	var fastNS []float64
+	for round := 0; round < 32; round++ {
+		for _, q := range routed {
+			res, err := fastpath.Plan(q, sys.Catalog)
+			if err != nil {
+				panic(fmt.Sprintf("bench: fastpath plan %s: %v", q.ID, err))
+			}
+			fastNS = append(fastNS, float64(res.Elapsed.Nanoseconds()))
+		}
+	}
+	var bestNS []float64
+	for round := 0; round < 4; round++ {
+		for _, q := range routed {
+			// The timed region includes scorer construction: the fast path
+			// needs no scorer at all, so the search side pays for the whole
+			// inference setup it requires.
+			start := time.Now()
+			if _, _, err := sys.OptimizeWith(q, sys.Neo.Scorer(q)); err != nil {
+				panic(fmt.Sprintf("bench: best-first plan %s: %v", q.ID, err))
+			}
+			bestNS = append(bestNS, float64(time.Since(start).Nanoseconds()))
+		}
+	}
+	return Suite{Suite: "plan", Benchmarks: []Result{
+		{Name: "plan/fastpath-p50", NsPerOp: percentileNS(fastNS, 0.50)},
+		{Name: "plan/fastpath-p99", NsPerOp: percentileNS(fastNS, 0.99)},
+		{Name: "plan/bestfirst-p50", NsPerOp: percentileNS(bestNS, 0.50)},
+		{Name: "plan/bestfirst-p99", NsPerOp: percentileNS(bestNS, 0.99)},
+	}}
+}
+
+// planFixture bootstraps the episode-shaped system and returns the workload
+// queries the auto router sends to the fast path.
+func planFixture() (*neo.System, []*neo.Query) {
+	sys, err := neo.Open(neo.Config{
+		Dataset:          "imdb",
+		Engine:           "postgres",
+		Encoding:         neo.Histogram,
+		Scale:            0.25,
+		Seed:             17,
+		SearchExpansions: 64,
+		Episodes:         1,
+		ValueNet: &neo.ValueNetConfig{
+			QueryLayers:  []int{32, 16},
+			TreeChannels: []int{16, 16, 8},
+			HeadLayers:   []int{16},
+			LearningRate: 2e-3,
+			UseLayerNorm: true,
+			Seed:         3,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: plan fixture: %v", err))
+	}
+	wl, err := sys.GenerateWorkload(16)
+	if err != nil {
+		panic(fmt.Sprintf("bench: plan workload: %v", err))
+	}
+	if err := sys.Bootstrap(wl.Queries[:8]); err != nil {
+		panic(fmt.Sprintf("bench: plan bootstrap: %v", err))
+	}
+	router := route.New(route.Auto, route.Policy{})
+	var routed []*neo.Query
+	for _, q := range wl.Queries {
+		if router.Decide(q).Fastpath {
+			routed = append(routed, q)
+		}
+	}
+	if len(routed) == 0 {
+		panic("bench: plan fixture routed no queries to the fast path")
+	}
+	return sys, routed
+}
+
+// PlanningBenchmarks exposes the two sides of the planning-latency suite as
+// sub-benchmarks for the root-level `go test -bench` entry point: one
+// fast-path greedy ordering pass and one full best-first search per
+// iteration, over the routed queries of the shared fixture.
+func PlanningBenchmarks() (fastpathSide, bestfirst func(b *testing.B)) {
+	sys, routed := planFixture()
+	fastpathSide = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := routed[i%len(routed)]
+			if _, err := fastpath.Plan(q, sys.Catalog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	bestfirst = func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := routed[i%len(routed)]
+			if _, _, err := sys.OptimizeWith(q, sys.Neo.Scorer(q)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return fastpathSide, bestfirst
+}
+
+// percentileNS returns the p-th percentile (nearest-rank) of the samples.
+func percentileNS(ns []float64, p float64) float64 {
+	sort.Float64s(ns)
+	idx := int(math.Ceil(p*float64(len(ns)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ns) {
+		idx = len(ns) - 1
+	}
+	return ns[idx]
 }
 
 // servingWorkers is the concurrency of the fused-serving benchmark: 8

@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"neo/internal/engine"
+	"neo/internal/fastpath"
 	"neo/internal/feature"
 	"neo/internal/plan"
 	"neo/internal/query"
+	"neo/internal/route"
 	"neo/internal/sched"
 	"neo/internal/search"
 	"neo/internal/treeconv"
@@ -99,6 +101,16 @@ type Config struct {
 	// snapshot publication, inside the atomic swap — training and
 	// checkpoints stay bit-identical float64 regardless of this setting.
 	ScorePrecision valuenet.Precision
+	// Routing selects how queries are dispatched between the statistics-free
+	// greedy fast path (internal/fastpath) and the full DNN-guided best-first
+	// search: route.Full (the zero value — every query takes the full
+	// search, the historical behaviour), route.Fastpath (forced greedy) or
+	// route.Auto (per-class heuristic bootstrap, demoted online by
+	// observed-latency regret; see ObserveLatency).
+	Routing route.Mode
+	// RoutePolicy overrides the auto-routing thresholds; zero fields select
+	// route.DefaultPolicy values.
+	RoutePolicy route.Policy
 	// TrainWorkers is the number of data-parallel gradient workers each
 	// retraining minibatch is sharded over (valuenet.Config.TrainWorkers).
 	// Trained weights are bit-identical for every worker count — the shard
@@ -187,6 +199,11 @@ type Neo struct {
 	// creates over its lifetime (schedulers are recreated on each snapshot
 	// swap), so /stats counters are monotonic. Nil when FuseScoring is off.
 	fuse *sched.Counters
+
+	// router dispatches each Optimize between the greedy fast path and the
+	// full best-first search (Config.Routing) and accounts decisions,
+	// planning latencies and execution regret per query class.
+	router *route.Router
 }
 
 // netSnapshot pairs a frozen network with the version it was published as
@@ -281,6 +298,7 @@ func New(eng *engine.Engine, feat *feature.Featurizer, cfg Config) *Neo {
 		rngSeed:       cfg.Seed,
 		baseline:      make(map[string]float64),
 		queryEncCache: make(map[string][]float64),
+		router:        route.New(cfg.Routing, cfg.RoutePolicy),
 	}
 	if cfg.FuseScoring {
 		n.fuse = &sched.Counters{}
@@ -851,8 +869,29 @@ func (n *Neo) FusionStats() sched.Stats {
 	return st
 }
 
-// Optimize searches for the best plan for q using the current value network.
+// Optimize plans q: the router (Config.Routing) dispatches the query either
+// to the statistics-free greedy fast path — microsecond planning, no
+// value-network inference — or to the full DNN-guided best-first search.
+// Every call records its routing decision in the per-class counters (see
+// RouteStats). For fast-path plans the returned Result carries the greedy
+// cost model's score and the number of ordering steps as Expansions; no
+// network is consulted until ObserveLatency scores the executed plan for
+// regret.
 func (n *Neo) Optimize(q *query.Query) (*plan.Plan, *search.Result, error) {
+	if dec := n.router.Decide(q); dec.Fastpath {
+		fr, err := fastpath.Plan(q, n.Featurizer.Catalog)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.router.RecordFastpathLatency(dec.Class, fr.Elapsed)
+		res := &search.Result{
+			Plan:       fr.Plan,
+			Score:      fastpath.Cost(fr.Plan, n.Featurizer.Catalog),
+			Expansions: fr.Steps,
+			Elapsed:    fr.Elapsed,
+		}
+		return fr.Plan, res, nil
+	}
 	opts := search.Options{
 		Catalog:       n.Featurizer.Catalog,
 		MaxExpansions: n.Config.SearchExpansions,
@@ -862,6 +901,42 @@ func (n *Neo) Optimize(q *query.Query) (*plan.Plan, *search.Result, error) {
 		return nil, nil, err
 	}
 	return res.Plan, res, nil
+}
+
+// RouteStats snapshots the router's per-class decision counters, fast-path
+// planning-latency percentiles and regret accounting. Safe for concurrent
+// use.
+func (n *Neo) RouteStats() route.StatsSnapshot { return n.router.Stats() }
+
+// ObserveLatency feeds one executed query's measured latency into the
+// router's regret accounting. For a class currently served by the fast
+// path, the observation is compared against the value network's estimate of
+// what the full best-first search would have achieved: the network predicts
+// the best cost *reachable* from a partial plan, so its prediction for the
+// query's initial state — one inference — stands in for running the search.
+// Classes whose mean regret crosses the policy threshold are re-routed to
+// the full search. A no-op (and inference-free) unless routing is Auto and
+// the class is on the fast path, so callers can invoke it unconditionally
+// on every execution.
+func (n *Neo) ObserveLatency(q *query.Query, observedMS float64) {
+	if observedMS <= 0 || !n.router.NeedsOutcome(q) {
+		return
+	}
+	if n.Config.Cost == RelativeCost {
+		// Under the relative objective the network predicts latency divided
+		// by the per-query baseline; bring the observation into the same
+		// units (skip the sample when no baseline is known yet).
+		base, ok := n.Baseline(q.ID)
+		if !ok || base <= 0 {
+			return
+		}
+		observedMS /= base
+	}
+	// Predict (not PredictNormalized): the estimate must be in the original
+	// cost domain so the observed/estimated ratio is unit-free.
+	initial := plan.Initial(q)
+	estimate := n.Snapshot().Predict(n.encodeQuery(q), n.Featurizer.EncodePlan(initial))
+	n.router.RecordOutcome(route.Classify(q).Key(), observedMS, estimate)
 }
 
 // OptimizeGreedy builds a plan greedily (the "hurry-up"/Q-learning-style
@@ -983,6 +1058,7 @@ func (n *Neo) RunEpisodeParallel(episode int, queries []*query.Query, workers in
 		}
 		lat := n.Engine.Commit(execs[i].base)
 		n.Experience.Add(q, execs[i].plan, lat)
+		n.ObserveLatency(q, lat)
 		stats.TotalLatency += lat
 		stats.QueryLatencies[q.ID] = lat
 		if base, ok := n.Baseline(q.ID); ok {

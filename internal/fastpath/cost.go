@@ -1,0 +1,104 @@
+package fastpath
+
+import (
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/schema"
+)
+
+// Cost model weights, in units of "one sequential scan of a base relation":
+// a statistics-free transcription of the simulated engines' cost shapes
+// (internal/engine), with row counts replaced by the schema's topological
+// size prior (relSize) shrunk by visible-selectivity fractions and diluted
+// by joinFanout per join. Only the ordering of
+// alternatives matters — index-nested-loop beats hash while the outer is
+// small, hash builds belong on the smaller input, merge pays for sorting,
+// plain nested loops and cross products are quadratic — not any engine's
+// absolute coefficients.
+const (
+	// Scans: an equality lookup through an index touches a handful of rows;
+	// walking a whole index is worse than the sequential scan it replaces.
+	wIdxEqScan  = 0.15
+	wTableScan  = 1.0
+	wBadIdxScan = 1.5
+	// Index-nested-loop: one logarithmic lookup per outer row. With
+	// ~4·log2(B) lookup work per row this is ≈40 per base-relation fraction,
+	// which crosses the ≈2.6 hash build+scan at inlMaxOuter.
+	wInlPerOuter = 40.0
+	// Hash join: linear build on the right input, linear probe on the left.
+	wHashBuild = 1.6
+	wHashProbe = 1.0
+	// Merge join: per-row merge plus the sorts the inputs almost always need.
+	wMergePerInput = 3.4
+	// Plain nested loop (and any cross product): quadratic in the inputs,
+	// scaled to base-relation units.
+	wLoopQuadratic = 80.0
+	// Emitting one base relation's worth of join output.
+	wOutput = 0.3
+)
+
+// Cost is the fast path's statistics-free cost model over (partial or
+// complete) plans: the objective Plan greedily minimises, exposed so tests
+// can hand it to the exhaustive best-first search and pin greedy-equals-
+// optimal parity on pattern shapes, and so routed results carry a
+// meaningful score without a value-network inference.
+func Cost(p *plan.Plan, cat *schema.Catalog) float64 {
+	total := 0.0
+	for _, r := range p.Roots {
+		c, _ := nodeCost(p.Query, r, cat)
+		total += c
+	}
+	return total
+}
+
+// nodeCost returns a subtree's cost and its estimated output size in
+// base-relation units (visible selectivities diluted by joinFanout per
+// join — the statistics-free stand-in for cardinality).
+func nodeCost(q *query.Query, n *plan.Node, cat *schema.Catalog) (cost, rows float64) {
+	if n.IsLeaf() {
+		size := relSize(n.Table, cat)
+		rows = VisibleSelectivity(q, n.Table) * size
+		switch n.Scan {
+		case plan.IndexScan:
+			if baseScan(q, n.Table, cat) == plan.IndexScan {
+				return wIdxEqScan, rows // equality predicate on an indexed column
+			}
+			return wBadIdxScan * size, rows // walking the whole index: worse than a scan
+		case plan.TableScan:
+			return wTableScan * size, rows
+		default:
+			// Unspecified (partial plans only): optimistic, the best
+			// specification might be this cheap.
+			return wIdxEqScan, rows
+		}
+	}
+
+	lc, lr := nodeCost(q, n.Left, cat)
+	rc, rr := nodeCost(q, n.Right, cat)
+	rows = joinFanout * lr * rr
+	leftSet := n.Left.TableSet()
+	connected := q.Connected(leftSet, n.Right.TableSet())
+
+	cost = lc
+	switch n.Join {
+	case plan.LoopJoin:
+		if connected && n.Right.IsLeaf() && n.Right.Scan == plan.IndexScan &&
+			indexedJoinColumn(q, n.Right.Table, leftSet, cat) {
+			// Index-nested-loop: one lookup per outer row, the inner's own
+			// scan cost never paid (mirrors the engines' pricing).
+			cost += wInlPerOuter * lr
+		} else {
+			cost += rc + wLoopQuadratic*lr*rr
+		}
+	case plan.MergeJoin:
+		cost += rc + wMergePerInput*(lr+rr)
+	default: // HashJoin
+		cost += rc + wHashBuild*rr + wHashProbe*lr
+	}
+	if !connected {
+		// Cross products degrade every operator to the quadratic pairing.
+		cost += wLoopQuadratic * lr * rr
+	}
+	cost += wOutput * rows
+	return cost, rows
+}

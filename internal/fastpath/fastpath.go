@@ -1,0 +1,362 @@
+// Package fastpath implements a statistics-free greedy planner for
+// pattern-shaped queries, after the janus-datalog line of work ("When
+// Statistics Are Unnecessary: Greedy Join Ordering for Pattern-Based
+// Queries"): joins are ordered by connectivity and the selectivity visible
+// in the query's own syntax — no histograms, no value-network inference, no
+// frontier — so planning costs microseconds instead of the full best-first
+// search's milliseconds. Provably-empty intermediates (contradictory
+// single-column predicates) terminate ordering effort early: once any
+// relation is known empty, every plan returns zero rows and join order stops
+// mattering.
+//
+// The planner covers the easy 90%: chains and stars whose cheap orderings
+// are exactly the connectivity-greedy ones. Queries outside that class keep
+// the full DNN-guided search — internal/route decides per query, and
+// re-routes classes whose fast-path plans regret the choice at execution
+// time.
+package fastpath
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/schema"
+)
+
+// Visible-selectivity weights: a syntactic prior on how much of a relation a
+// predicate keeps, keyed only on the comparison operator. The absolute
+// values are unimportant — ordering decisions compare products of them — but
+// the ranking (equality ≪ pattern ≪ range ≪ inequality) matches what any
+// real workload's predicates do on average.
+const (
+	selEq    = 0.05
+	selLike  = 0.15
+	selRange = 0.30
+	selNe    = 0.90
+)
+
+// Operator-selection constants, calibrated against the simulated engines'
+// cost shapes (internal/engine): an index-nested-loop pays one logarithmic
+// lookup per outer row, so it beats a linear hash build only while the outer
+// pipeline is a small fraction of a base relation; every join dilutes the
+// pipeline by a fan-out no syntax can reveal, so a fixed multiplier stands
+// in for it. Both are unit-free fractions of "one base relation", keeping
+// the planner statistics-free.
+const (
+	// inlMaxOuter is the largest estimated outer fraction for which an
+	// index-nested-loop still beats a hash join (engine shapes: ~4·log2(B)
+	// lookup work per outer row against ~2.6·B for build+scan).
+	inlMaxOuter = 0.06
+	// joinFanout multiplies the estimated pipeline fraction at every join:
+	// equi-joins on foreign keys typically widen the intermediate result.
+	joinFanout = 3.0
+	// factSize is the size prior for a relation that declares foreign keys.
+	// Such a relation is the "many" side of every join it originates — in any
+	// FK-consistent database it holds at least as many rows as the relations
+	// it references, and bridge tables hold several per entity. The prior is
+	// read off the schema's join topology, not from any statistics.
+	factSize = 4.0
+)
+
+// opWeight returns the visible-selectivity weight of one comparison.
+func opWeight(op query.CmpOp) float64 {
+	switch op {
+	case query.Eq:
+		return selEq
+	case query.Like:
+		return selLike
+	case query.Lt, query.Le, query.Gt, query.Ge:
+		return selRange
+	case query.Ne:
+		return selNe
+	default:
+		return 1.0
+	}
+}
+
+// VisibleSelectivity is the product of the syntactic weights of every
+// predicate the query places on rel: 1.0 for an unfiltered relation,
+// smaller the more (and the more selective) filters are visible. It reads
+// nothing but the query text — no statistics.
+func VisibleSelectivity(q *query.Query, rel string) float64 {
+	sel := 1.0
+	for _, p := range q.Predicates {
+		if p.Table == rel {
+			sel *= opWeight(p.Op)
+		}
+	}
+	return sel
+}
+
+// relSize returns rel's size prior in base-relation units: factSize when the
+// schema shows rel originating foreign keys (the "many" side — fact and
+// bridge tables), 1.0 otherwise. Purely topological; no row counts involved.
+func relSize(rel string, cat *schema.Catalog) float64 {
+	if cat != nil {
+		for _, fk := range cat.ForeignKeys() {
+			if fk.FromTable == rel {
+				return factSize
+			}
+		}
+	}
+	return 1.0
+}
+
+// ProvablyEmpty reports whether rel's predicates are contradictory on some
+// column — x = 3 AND x = 5, x = 3 AND x ≠ 3, x < 10 AND x > 20 — so the
+// relation (and therefore every intermediate containing it) is empty no
+// matter what the data holds. This is a sufficient condition, not a
+// complete one: combinations it cannot see (e.g. three-way range
+// interactions through non-strict bounds) are simply planned normally.
+func ProvablyEmpty(q *query.Query, rel string) bool {
+	byCol := make(map[string][]query.Predicate)
+	for _, p := range q.Predicates {
+		// LIKE patterns have no usable ordering; leave them out.
+		if p.Table == rel && p.Op != query.Like {
+			byCol[p.Column] = append(byCol[p.Column], p)
+		}
+	}
+	for _, preds := range byCol {
+		if columnContradiction(preds) {
+			return true
+		}
+	}
+	return false
+}
+
+// columnContradiction decides emptiness for the predicates of one column.
+func columnContradiction(preds []query.Predicate) bool {
+	// An equality pins the column to a single value; every other predicate
+	// on the column must accept that value.
+	for i, p := range preds {
+		if p.Op != query.Eq {
+			continue
+		}
+		for j, o := range preds {
+			if i != j && !o.Matches(p.Value) {
+				return true
+			}
+		}
+	}
+	// Pure range contradiction: the tightest upper bound against the
+	// tightest lower bound.
+	var lo, hi *query.Predicate
+	for i := range preds {
+		p := &preds[i]
+		switch p.Op {
+		case query.Gt, query.Ge:
+			if lo == nil || lo.Value.Less(p.Value) {
+				lo = p
+			}
+		case query.Lt, query.Le:
+			if hi == nil || p.Value.Less(hi.Value) {
+				hi = p
+			}
+		}
+	}
+	if lo != nil && hi != nil {
+		if hi.Value.Less(lo.Value) {
+			return true
+		}
+		if hi.Value.Equal(lo.Value) && (lo.Op == query.Gt || hi.Op == query.Lt) {
+			return true
+		}
+	}
+	return false
+}
+
+// Result reports one fast-path planning run.
+type Result struct {
+	// Plan is the complete plan: one pipeline attaching relations in greedy
+	// order (hash attaches may place the fresh base relation on the probe
+	// side, so the tree is not strictly left-deep).
+	Plan *plan.Plan
+	// Steps is the number of join-ordering decisions taken (relations − 1);
+	// it plays the role search.Result.Expansions plays for the full search.
+	Steps int
+	// EmptyDetected reports that some relation's predicates are
+	// contradictory: the result is provably empty, so the planner skipped
+	// selectivity ordering and attached relations by connectivity alone,
+	// starting from the empty relation.
+	EmptyDetected bool
+	// CrossProducts counts joins taken between disconnected components —
+	// only ever forced by the query's own join graph, never preferred over
+	// an available connected join.
+	CrossProducts int
+	// Elapsed is the planning wall-clock time.
+	Elapsed time.Duration
+}
+
+// Plan builds a complete plan for q greedily: start from the relation with
+// the smallest estimated size — the schema's topological size prior shrunk
+// by the visible selectivity, ties broken toward higher join degree, then
+// name — then repeatedly attach the smallest-estimate relation connected to
+// the joined set, falling back to a cross product only when no connected
+// relation remains. Operators follow the engines' cost shapes, driven by a
+// running estimate of the pipeline's size (visible selectivities diluted by
+// a fixed per-join fan-out): while the pipeline is provably small, a
+// relation reachable through an index on its join column becomes the inner
+// of an index-nested-loop join; once it has grown, the attach becomes a
+// hash join with the smaller estimated side as the build input. An equality
+// predicate on an indexed column selects an index scan; everything else is
+// a table scan.
+func Plan(q *query.Query, cat *schema.Catalog) (*Result, error) {
+	start := time.Now()
+	if len(q.Relations) == 0 {
+		return nil, fmt.Errorf("fastpath: query %s has no relations", q.ID)
+	}
+	res := &Result{}
+
+	rels := append([]string(nil), q.Relations...)
+	sort.Strings(rels)
+	// est is each relation's estimated size in base-relation units: the
+	// schema's topological size prior shrunk by the visible selectivity.
+	est := make(map[string]float64, len(rels))
+	degree := make(map[string]int, len(rels))
+	for _, r := range rels {
+		est[r] = VisibleSelectivity(q, r) * relSize(r, cat)
+		for _, j := range q.Joins {
+			if j.Touches(r) {
+				degree[r]++
+			}
+		}
+	}
+	emptyRel := ""
+	for _, r := range rels {
+		if ProvablyEmpty(q, r) {
+			// An empty relation empties every intermediate it joins into:
+			// start from it so execution can stop at the first operator, and
+			// stop spending ordering effort below.
+			emptyRel = r
+			res.EmptyDetected = true
+			break
+		}
+	}
+
+	pick := func(candidates []string) string {
+		best := candidates[0]
+		if res.EmptyDetected {
+			// Order is irrelevant once emptiness is proven; candidates are
+			// name-sorted, keep the first (deterministic, zero effort).
+			return best
+		}
+		for _, r := range candidates[1:] {
+			switch {
+			case est[r] < est[best]:
+				best = r
+			case est[r] == est[best] && degree[r] > degree[best]:
+				best = r
+			}
+		}
+		return best
+	}
+
+	first := emptyRel
+	if !res.EmptyDetected {
+		first = pick(rels)
+	}
+	joined := map[string]bool{first: true}
+	root := plan.Leaf(first, baseScan(q, first, cat))
+	pipeRows := est[first] // estimated pipeline size, in base-relation units
+	remaining := make([]string, 0, len(rels)-1)
+	for _, r := range rels {
+		if r != first {
+			remaining = append(remaining, r)
+		}
+	}
+
+	for len(remaining) > 0 {
+		connected := remaining[:0:0]
+		for _, r := range remaining {
+			for _, j := range q.Joins {
+				if j.Touches(r) && (joined[j.LeftTable] || joined[j.RightTable]) {
+					connected = append(connected, r)
+					break
+				}
+			}
+		}
+		var next string
+		isConnected := len(connected) > 0
+		if isConnected {
+			next = pick(connected)
+		} else {
+			// Genuinely stuck: the query's join graph is disconnected here.
+			next = pick(remaining)
+			res.CrossProducts++
+		}
+
+		switch {
+		case isConnected && pipeRows <= inlMaxOuter && indexedJoinColumn(q, next, joined, cat):
+			// The pipeline is still a sliver of a base relation: enter the
+			// new relation through its join-column index. The engines price
+			// LoopJoin over an index-scanned leaf as an index-nested-loop —
+			// one lookup per outer row, the inner's scan cost never paid —
+			// which beats a hash build only while the outer stays this small.
+			root = plan.Join2(plan.LoopJoin, root, plan.Leaf(next, plan.IndexScan))
+		case !res.EmptyDetected && pipeRows < est[next]:
+			// Hash join, building on the smaller input: the engines pay the
+			// heavier per-row build cost on the right child, so the filtered
+			// pipeline goes right and the fresh base relation probes from the
+			// left. (Skipped for provably-empty plans, which are never
+			// meaningfully executed — left-deep is simpler.)
+			root = plan.Join2(plan.HashJoin, plan.Leaf(next, baseScan(q, next, cat)), root)
+		default:
+			root = plan.Join2(plan.HashJoin, root, plan.Leaf(next, baseScan(q, next, cat)))
+		}
+		pipeRows *= joinFanout * est[next]
+		joined[next] = true
+		res.Steps++
+		for i, r := range remaining {
+			if r == next {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+
+	res.Plan = &plan.Plan{Query: q, Roots: []*plan.Node{root}}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// baseScan picks the access path for a relation that is not entered through
+// a join index: an index scan only pays off when an equality predicate hits
+// an indexed column (the executors' IndexOnPredicate condition); otherwise
+// walking the index is strictly worse than the sequential scan.
+func baseScan(q *query.Query, rel string, cat *schema.Catalog) plan.ScanType {
+	if cat != nil {
+		for _, p := range q.Predicates {
+			if p.Table == rel && p.Op == query.Eq && cat.HasIndex(rel, p.Column) {
+				return plan.IndexScan
+			}
+		}
+	}
+	return plan.TableScan
+}
+
+// indexedJoinColumn reports whether rel connects to the joined set through a
+// join column that is indexed on rel's side — the precondition for the
+// engines' index-nested-loop strategy.
+func indexedJoinColumn(q *query.Query, rel string, joined map[string]bool, cat *schema.Catalog) bool {
+	if cat == nil {
+		return false
+	}
+	for _, j := range q.Joins {
+		var col string
+		switch {
+		case j.LeftTable == rel && joined[j.RightTable]:
+			col = j.LeftColumn
+		case j.RightTable == rel && joined[j.LeftTable]:
+			col = j.RightColumn
+		default:
+			continue
+		}
+		if cat.HasIndex(rel, col) {
+			return true
+		}
+	}
+	return false
+}

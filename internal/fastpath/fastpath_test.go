@@ -1,0 +1,263 @@
+package fastpath
+
+import (
+	"testing"
+
+	"neo/internal/datagen"
+	"neo/internal/plan"
+	"neo/internal/query"
+	"neo/internal/storage"
+)
+
+func fiveWayQuery() *query.Query {
+	return query.New("five",
+		[]string{"title", "movie_keyword", "keyword", "movie_info", "info_type"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_keyword", LeftColumn: "keyword_id", RightTable: "keyword", RightColumn: "id"},
+			{LeftTable: "movie_info", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_info", LeftColumn: "info_type_id", RightTable: "info_type", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "keyword", Column: "keyword", Op: query.Eq, Value: storage.StringValue("love")},
+		})
+}
+
+// leftmostLeaf returns the first relation of a left-deep pipeline.
+func leftmostLeaf(n *plan.Node) *plan.Node {
+	for !n.IsLeaf() {
+		n = n.Left
+	}
+	return n
+}
+
+func TestVisibleSelectivity(t *testing.T) {
+	q := query.New("sel", []string{"t"}, nil, []query.Predicate{
+		{Table: "t", Column: "a", Op: query.Eq, Value: storage.IntValue(1)},
+		{Table: "t", Column: "b", Op: query.Lt, Value: storage.IntValue(9)},
+		{Table: "other", Column: "c", Op: query.Ne, Value: storage.IntValue(0)},
+	})
+	if got, want := VisibleSelectivity(q, "t"), selEq*selRange; got != want {
+		t.Errorf("VisibleSelectivity(t) = %v, want %v", got, want)
+	}
+	if got := VisibleSelectivity(q, "unfiltered"); got != 1.0 {
+		t.Errorf("VisibleSelectivity(unfiltered) = %v, want 1", got)
+	}
+	// The ranking, not the absolute values, is what ordering decisions use.
+	if !(selEq < selLike && selLike < selRange && selRange < selNe && selNe < 1.0) {
+		t.Errorf("selectivity weights out of order: eq=%v like=%v range=%v ne=%v", selEq, selLike, selRange, selNe)
+	}
+}
+
+func TestProvablyEmpty(t *testing.T) {
+	pred := func(col string, op query.CmpOp, v storage.Value) query.Predicate {
+		return query.Predicate{Table: "t", Column: col, Op: op, Value: v}
+	}
+	cases := []struct {
+		name  string
+		preds []query.Predicate
+		want  bool
+	}{
+		{"two equalities disagree", []query.Predicate{
+			pred("a", query.Eq, storage.IntValue(3)), pred("a", query.Eq, storage.IntValue(5))}, true},
+		{"equality meets its negation", []query.Predicate{
+			pred("a", query.Eq, storage.IntValue(3)), pred("a", query.Ne, storage.IntValue(3))}, true},
+		{"disjoint ranges", []query.Predicate{
+			pred("a", query.Lt, storage.IntValue(10)), pred("a", query.Gt, storage.IntValue(20))}, true},
+		{"touching ranges, strict", []query.Predicate{
+			pred("a", query.Lt, storage.IntValue(10)), pred("a", query.Gt, storage.IntValue(10))}, true},
+		{"touching ranges, inclusive", []query.Predicate{
+			pred("a", query.Le, storage.IntValue(10)), pred("a", query.Ge, storage.IntValue(10))}, false},
+		{"consistent range and equality", []query.Predicate{
+			pred("a", query.Eq, storage.IntValue(5)), pred("a", query.Lt, storage.IntValue(10))}, false},
+		{"different columns never conflict", []query.Predicate{
+			pred("a", query.Eq, storage.IntValue(3)), pred("b", query.Eq, storage.IntValue(5))}, false},
+		{"LIKE carries no ordering", []query.Predicate{
+			pred("a", query.Eq, storage.StringValue("x")), pred("a", query.Like, storage.StringValue("y%"))}, false},
+	}
+	for _, tc := range cases {
+		q := query.New("t", []string{"t"}, nil, tc.preds)
+		if got := ProvablyEmpty(q, "t"); got != tc.want {
+			t.Errorf("%s: ProvablyEmpty = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPlanConnectedFiveWay(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	res, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("plan incomplete: %s", res.Plan)
+	}
+	if res.Steps != len(q.Relations)-1 {
+		t.Errorf("Steps = %d, want %d (one ordering decision per join)", res.Steps, len(q.Relations)-1)
+	}
+	if res.CrossProducts != 0 {
+		t.Errorf("connected query planned with %d cross products: %s", res.CrossProducts, res.Plan)
+	}
+	if res.EmptyDetected {
+		t.Errorf("no contradiction in the query, but EmptyDetected is set")
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("elapsed should be positive")
+	}
+	root := res.Plan.Roots[0]
+	// The pipeline seeds at the most selective relation — keyword carries the
+	// only (equality) predicate — and its first attach is an index-nested-
+	// loop into movie_keyword: the outer is still a sliver of a base
+	// relation and the join column is indexed.
+	loops, hashes := 0, 0
+	var seedJoin *plan.Node
+	root.Walk(func(n *plan.Node) {
+		if n.IsLeaf() {
+			return
+		}
+		switch n.Join {
+		case plan.LoopJoin:
+			loops++
+			seedJoin = n
+		case plan.HashJoin:
+			hashes++
+		}
+	})
+	if loops != 1 || seedJoin.Left.Table != "keyword" ||
+		seedJoin.Right.Table != "movie_keyword" || seedJoin.Right.Scan != plan.IndexScan {
+		t.Errorf("expected one index-nested-loop seeding keyword→movie_keyword, got %s", res.Plan)
+	}
+	// Every later attach happens after the estimated pipeline has outgrown
+	// the index-nested-loop regime, so it becomes a hash join — with the
+	// (filtered, smaller) pipeline on the build side while it stays smaller
+	// than the fresh base relation.
+	if hashes != 3 {
+		t.Errorf("expected 3 hash joins after the pipeline grew, got %d: %s", hashes, res.Plan)
+	}
+}
+
+func TestPlanEmptyDetectedLeadsWithEmptyRelation(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := query.New("contradiction",
+		[]string{"title", "movie_keyword", "keyword"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_keyword", LeftColumn: "keyword_id", RightTable: "keyword", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "keyword", Column: "keyword", Op: query.Eq, Value: storage.StringValue("love")},
+			{Table: "title", Column: "production_year", Op: query.Eq, Value: storage.IntValue(2000)},
+			{Table: "title", Column: "production_year", Op: query.Eq, Value: storage.IntValue(1990)},
+		})
+	res, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EmptyDetected {
+		t.Fatalf("contradictory production_year predicates not detected")
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("plan incomplete: %s", res.Plan)
+	}
+	// The empty relation leads so execution stops at the first operator —
+	// even though keyword's lone equality is nominally more selective.
+	if got := leftmostLeaf(res.Plan.Roots[0]).Table; got != "title" {
+		t.Errorf("pipeline starts at %q, want the provably-empty relation %q", got, "title")
+	}
+}
+
+func TestPlanRangeContradictionDetected(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := query.New("range",
+		[]string{"title", "movie_keyword"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "title", Column: "production_year", Op: query.Lt, Value: storage.IntValue(1950)},
+			{Table: "title", Column: "production_year", Op: query.Gt, Value: storage.IntValue(2000)},
+		})
+	res, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EmptyDetected {
+		t.Errorf("disjoint production_year ranges not detected")
+	}
+	if got := leftmostLeaf(res.Plan.Roots[0]).Table; got != "title" {
+		t.Errorf("pipeline starts at %q, want %q", got, "title")
+	}
+}
+
+func TestPlanDisconnectedTakesOneCrossProduct(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := query.New("disconnected",
+		[]string{"title", "movie_keyword", "company", "movie_companies"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_companies", LeftColumn: "company_id", RightTable: "company", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "title", Column: "production_year", Op: query.Eq, Value: storage.IntValue(2000)},
+		})
+	res, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("plan incomplete: %s", res.Plan)
+	}
+	if res.CrossProducts != 1 {
+		t.Errorf("CrossProducts = %d, want exactly 1 (components − 1)", res.CrossProducts)
+	}
+}
+
+func TestPlanScanChoices(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	// Equality on an indexed column → index scan.
+	eq := query.New("eq", []string{"title"}, nil, []query.Predicate{
+		{Table: "title", Column: "production_year", Op: query.Eq, Value: storage.IntValue(2000)},
+	})
+	res, err := Plan(eq, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Roots[0].Scan != plan.IndexScan {
+		t.Errorf("equality on indexed production_year should pick an index scan, got %s", res.Plan)
+	}
+	// A range predicate cannot use the engines' point-lookup indexes.
+	rng := query.New("range", []string{"title"}, nil, []query.Predicate{
+		{Table: "title", Column: "production_year", Op: query.Gt, Value: storage.IntValue(2000)},
+	})
+	res, err = Plan(rng, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Roots[0].Scan != plan.TableScan {
+		t.Errorf("range predicate should fall back to a table scan, got %s", res.Plan)
+	}
+}
+
+func TestCostPrefersFastpathStructure(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	res, err := Plan(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Cost(res.Plan, cat)
+	// A deliberately bad ordering: all hash joins over table scans, starting
+	// from an unfiltered relation.
+	bad := plan.Leaf("title", plan.TableScan)
+	for _, r := range []string{"movie_info", "info_type", "movie_keyword", "keyword"} {
+		bad = plan.Join2(plan.HashJoin, bad, plan.Leaf(r, plan.TableScan))
+	}
+	badPlan := &plan.Plan{Query: q, Roots: []*plan.Node{bad}}
+	if badCost := Cost(badPlan, cat); good >= badCost {
+		t.Errorf("fast-path plan should cost less than the naive ordering: %v >= %v", good, badCost)
+	}
+	if good <= 0 {
+		t.Errorf("cost should be positive, got %v", good)
+	}
+}

@@ -1,0 +1,57 @@
+package route
+
+import "time"
+
+// latencyHist is a fixed power-of-two-bucket histogram for fast-path
+// planning latencies: bucket i holds observations up to 256ns·2^i, the last
+// bucket everything beyond (~134ms). Two uint64 stores per observation, no
+// allocation — cheap enough to sit on the planning hot path under the
+// router's mutex.
+const (
+	histBuckets = 20
+	histBaseNS  = 256
+)
+
+type latencyHist struct {
+	counts [histBuckets]uint64
+	n      uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	b := 0
+	for bound := int64(histBaseNS); b < histBuckets-1 && ns > bound; b++ {
+		bound <<= 1
+	}
+	h.counts[b]++
+	h.n++
+}
+
+func (h *latencyHist) merge(o *latencyHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
+// quantileUS returns the upper bound, in microseconds, of the bucket
+// containing the p-quantile observation (0 when the histogram is empty).
+// Bucketed quantiles overestimate by at most 2×, which is plenty for
+// operational telemetry.
+func (h *latencyHist) quantileUS(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return float64(int64(histBaseNS)<<i) / 1e3
+		}
+	}
+	return float64(int64(histBaseNS)<<(histBuckets-1)) / 1e3
+}

@@ -97,10 +97,13 @@ type Result struct {
 	Plan *plan.Plan
 	// Score is the scorer's estimate for that plan.
 	Score float64
-	// Expansions is the number of plan states whose children were generated
-	// and scored: frontier nodes popped by the best-first loop, plus greedy
+	// Expansions is the number of plan states whose children were generated:
+	// incomplete frontier nodes popped by the best-first loop, plus greedy
 	// descent steps taken when hurry-up mode (or Greedy) builds the plan —
 	// so search effort is reported faithfully even when the budget expires.
+	// Popping an already-complete plan generates no children and is not
+	// counted (downstream consumers — /stats, the query router's regret
+	// accounting — read this as real search effort).
 	Expansions int
 	// Evaluations is the number of plans scored (summed over ScoreBatch
 	// calls).
@@ -160,8 +163,14 @@ func BestFirst(q *query.Query, scorer BatchScorer, opts Options) (*Result, error
 	bestScore := 0.0
 	var lastExpanded *plan.Plan = initial
 
+	// The expansion budget counts frontier pops (as documented on
+	// Options.MaxExpansions — the machine-independent analogue of the
+	// paper's wall-clock cutoff), while Result.Expansions reports only pops
+	// that actually generated children: popping an already-complete plan is
+	// budgeted work, but it is not search effort.
+	popped := 0
 	budgetExceeded := func() bool {
-		if res.Expansions >= opts.MaxExpansions {
+		if popped >= opts.MaxExpansions {
 			return true
 		}
 		if opts.TimeBudget > 0 && time.Since(start) > opts.TimeBudget {
@@ -178,8 +187,7 @@ func BestFirst(q *query.Query, scorer BatchScorer, opts Options) (*Result, error
 	// single call, never by another expansion.
 	for f.Len() > 0 && !budgetExceeded() {
 		item := heap.Pop(f).(*frontierItem)
-		res.Expansions++
-		lastExpanded = item.plan
+		popped++
 		if item.plan.IsComplete() {
 			if bestComplete == nil || item.score < bestScore {
 				bestComplete = item.plan
@@ -188,8 +196,12 @@ func BestFirst(q *query.Query, scorer BatchScorer, opts Options) (*Result, error
 			// The frontier is ordered by predicted cost, so the first
 			// complete plan popped is the search's best guess; continuing
 			// (anytime behaviour) can still improve it within the budget.
+			// Popping it generates no children, so it does not count as an
+			// expansion.
 			continue
 		}
+		res.Expansions++
+		lastExpanded = item.plan
 		// Score every not-yet-seen child of this expansion in a single
 		// batched call (the paper evaluates the value network on all children
 		// of a node at once to amortise inference latency).
@@ -231,7 +243,12 @@ func BestFirst(q *query.Query, scorer BatchScorer, opts Options) (*Result, error
 		hp, score, evals, steps := greedyDescend(lastExpanded, scorer, childOpts)
 		res.Evaluations += evals
 		res.Expansions += steps
-		if f.Len() > 0 && (*f)[0].plan != lastExpanded {
+		// The first descent is mandatory — without it there is no plan at all
+		// — but the second is an opportunistic improvement, so it is skipped
+		// when the wall-clock deadline has already passed: a wide query would
+		// otherwise overshoot the anytime budget by a second full descent.
+		deadlinePassed := opts.TimeBudget > 0 && time.Since(start) > opts.TimeBudget
+		if !deadlinePassed && f.Len() > 0 && (*f)[0].plan != lastExpanded {
 			fp, fscore, fevals, fsteps := greedyDescend((*f)[0].plan, scorer, childOpts)
 			res.Evaluations += fevals
 			res.Expansions += fsteps
@@ -288,12 +305,17 @@ func greedyDescend(p *plan.Plan, scorer BatchScorer, opts plan.ChildrenOptions) 
 	}
 	for !cur.IsComplete() {
 		kids := cur.Children(opts)
+		if len(kids) == 0 && !opts.AllowCrossProducts {
+			// Dead end: no connected join exists at this level. Retry this
+			// one level with cross products allowed, without flipping the
+			// option for the rest of the descent — later levels must keep
+			// preferring connected joins and pay the cross-product penalty
+			// only where they are genuinely stuck.
+			xOpts := opts
+			xOpts.AllowCrossProducts = true
+			kids = cur.Children(xOpts)
+		}
 		if len(kids) == 0 {
-			// Retry allowing cross products; if that fails too, give up.
-			if !opts.AllowCrossProducts {
-				opts.AllowCrossProducts = true
-				continue
-			}
 			return nil, 0, evals, steps
 		}
 		scores := scoreBatch(scorer, kids)

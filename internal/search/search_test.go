@@ -1,6 +1,7 @@
 package search
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -251,6 +252,165 @@ func TestSearchMinimisesScorer(t *testing.T) {
 		if structuralScorer(g.Plan) < res.Score-1e-9 {
 			t.Errorf("found a plan better than best-first's: %.2f < %.2f", structuralScorer(g.Plan), res.Score)
 		}
+	}
+}
+
+// TestBestFirstExpansionsCountOnlyExpandedNodes pins the Result.Expansions
+// contract: only pops that generate children count. The search dedups states
+// by signature, so with an exhaustive budget every unique reachable state is
+// pushed (and scored) exactly once and popped exactly once — meaning
+// Expansions must equal the number of unique *incomplete* states and
+// Evaluations the number of unique states overall. Before the fix every pop
+// was counted, so Expansions reported the total including complete plans
+// that generate no children.
+func TestBestFirstExpansionsCountOnlyExpandedNodes(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := query.New("three",
+		[]string{"title", "movie_keyword", "keyword"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_keyword", LeftColumn: "keyword_id", RightTable: "keyword", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "keyword", Column: "keyword", Op: query.Eq, Value: storage.StringValue("love")},
+		})
+
+	// Enumerate the unique state space exactly as the search sees it.
+	childOpts := plan.ChildrenOptions{Catalog: cat}
+	initial := plan.Initial(q)
+	seen := map[string]bool{initial.Signature(): true}
+	queue := []*plan.Plan{initial}
+	total, incomplete := 0, 0
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		total++
+		if !p.IsComplete() {
+			incomplete++
+			for _, c := range p.Children(childOpts) {
+				if sig := c.Signature(); !seen[sig] {
+					seen[sig] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	if total == incomplete {
+		t.Fatalf("state space has no complete plans; the test cannot discriminate")
+	}
+
+	res, err := BestFirst(q, ScorerFunc(structuralScorer), Options{Catalog: cat, MaxExpansions: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HurryUp {
+		t.Fatalf("exhaustive budget must not trigger hurry-up mode")
+	}
+	if res.Expansions != incomplete {
+		t.Errorf("Expansions = %d, want %d (unique incomplete states; pre-fix value was %d, the total including complete pops)",
+			res.Expansions, incomplete, total)
+	}
+	if res.Evaluations != total {
+		t.Errorf("Evaluations = %d, want %d (every unique state scored once)", res.Evaluations, total)
+	}
+}
+
+// TestGreedyCrossProductFallbackIsPerLevel pins the dead-end recovery
+// contract of the greedy descent: on a query whose join graph is
+// disconnected (two components), the descent must complete the plan with
+// exactly components−1 cross products, keeping every other join connected.
+// Before the fix the fallback flipped AllowCrossProducts for the rest of the
+// descent, so one dead end could let cross products outcompete connected
+// joins on every later level.
+func TestGreedyCrossProductFallbackIsPerLevel(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	// Built with query.New directly: Validate would reject a disconnected
+	// join graph, but the planner must still handle one gracefully.
+	q := query.New("disconnected",
+		[]string{"title", "movie_keyword", "company", "movie_companies"},
+		[]query.JoinPredicate{
+			{LeftTable: "movie_keyword", LeftColumn: "movie_id", RightTable: "title", RightColumn: "id"},
+			{LeftTable: "movie_companies", LeftColumn: "company_id", RightTable: "company", RightColumn: "id"},
+		},
+		[]query.Predicate{
+			{Table: "title", Column: "production_year", Op: query.Eq, Value: storage.IntValue(2000)},
+		})
+	res, err := Greedy(q, ScorerFunc(structuralScorer), DefaultOptions(cat))
+	if err != nil {
+		t.Fatalf("greedy descent failed on a disconnected query: %v", err)
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("plan incomplete: %s", res.Plan)
+	}
+	cross := 0
+	res.Plan.Roots[0].Walk(func(n *plan.Node) {
+		if n.IsLeaf() {
+			return
+		}
+		if !q.Connected(n.Left.TableSet(), n.Right.TableSet()) {
+			cross++
+		}
+	})
+	if cross != 1 {
+		t.Errorf("plan has %d cross products, want exactly 1 (components − 1): %s", cross, res.Plan)
+	}
+}
+
+// timedScorer records when each batched scoring call starts and sleeps long
+// enough that wall-clock, not the expansion count, is the binding budget.
+type timedScorer struct {
+	mu    sync.Mutex
+	calls []time.Time
+	delay time.Duration
+}
+
+func (s *timedScorer) ScoreBatch(ps []*plan.Plan) []float64 {
+	s.mu.Lock()
+	s.calls = append(s.calls, time.Now())
+	s.mu.Unlock()
+	time.Sleep(s.delay)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = structuralScorer(p)
+	}
+	return out
+}
+
+// TestHurryUpSkipsSecondDescentPastDeadline pins the anytime contract of
+// hurry-up mode: once the wall-clock deadline has passed, only the mandatory
+// first descent runs (without it there is no plan at all); the opportunistic
+// second descent from the frontier top is skipped. Before the fix both
+// descents always ran, so a wide query overshot TimeBudget by a full extra
+// descent. The bound is one descent's worth of scoring calls (≤ one batched
+// call per level, ≤ 2·relations levels); two descents need roughly twice
+// that and trip it.
+func TestHurryUpSkipsSecondDescentPastDeadline(t *testing.T) {
+	cat := datagen.IMDBCatalog()
+	q := fiveWayQuery()
+	budget := 3 * time.Millisecond
+	sc := &timedScorer{delay: time.Millisecond}
+	start := time.Now()
+	res, err := BestFirst(q, sc, Options{Catalog: cat, MaxExpansions: 1 << 20, TimeBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HurryUp {
+		t.Fatalf("a %v budget against a %v-per-call scorer should force hurry-up mode", budget, sc.delay)
+	}
+	if !res.Plan.IsComplete() {
+		t.Fatalf("hurry-up plan incomplete")
+	}
+	deadline := start.Add(budget)
+	late := 0
+	sc.mu.Lock()
+	for _, c := range sc.calls {
+		if c.After(deadline) {
+			late++
+		}
+	}
+	sc.mu.Unlock()
+	if max := 2 * len(q.Relations); late > max {
+		t.Errorf("%d scoring calls started after the deadline, want ≤ %d (one greedy descent)", late, max)
 	}
 }
 

@@ -397,6 +397,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			req.NetVersion, version))
 		return
 	}
+	// Route-regret accounting: a measured latency for a fast-path-routed
+	// class is compared against the value net's estimate for the full
+	// search's plan (a no-op outside auto routing, in both modes below).
+	s.sys.Neo.ObserveLatency(q, req.LatencyMS)
 	if s.repl != nil {
 		// Replica path: the entry goes to the trainer, not a local pool. The
 		// quality window feeds the rollout coordinator's canary comparison.
@@ -489,6 +493,11 @@ type Stats struct {
 	// Cluster reports the replica-mode state — forwarding queue, trainer
 	// link health, plan-quality window. Omitted (nil) in standalone mode.
 	Cluster *proto.ClusterStats `json:"cluster,omitempty"`
+	// Routing reports the query router's per-class decision counters,
+	// fast-path planning-latency percentiles (µs) and regret accounting.
+	// Omitted (nil) when routing is "full" (the default), where every query
+	// takes the full search and there is nothing to report.
+	Routing *neo.RouteStats `json:"routing,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -505,6 +514,10 @@ func (s *Server) snapshotStats() Stats {
 		cs := s.repl.clusterStats(s.sys.Neo.NetVersion())
 		clusterPtr = &cs
 	}
+	var routingPtr *neo.RouteStats
+	if rs := s.sys.RouteStats(); rs.Mode != "full" {
+		routingPtr = &rs
+	}
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		NetVersion:    s.sys.Neo.NetVersion(),
@@ -520,6 +533,7 @@ func (s *Server) snapshotStats() Stats {
 		Snapshot:      s.sys.SnapshotInfo(),
 		Storage:       storagePtr,
 		Cluster:       clusterPtr,
+		Routing:       routingPtr,
 	}
 }
 

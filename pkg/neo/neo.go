@@ -18,6 +18,7 @@ import (
 	"neo/internal/feature"
 	"neo/internal/plan"
 	"neo/internal/query"
+	"neo/internal/route"
 	"neo/internal/sched"
 	"neo/internal/schema"
 	"neo/internal/search"
@@ -84,6 +85,14 @@ type (
 	// StorageStats reports the disk backend's buffer-pool counters (see
 	// Config.Engine "disk" and System.StorageStats).
 	StorageStats = storage.PoolStats
+	// RouteStats reports the query router's per-class decision counters,
+	// fast-path planning-latency percentiles and regret accounting (see
+	// Config.Routing and System.RouteStats).
+	RouteStats = route.StatsSnapshot
+	// RouteClassStats is one query class's routing counters.
+	RouteClassStats = route.ClassStats
+	// RoutePolicy holds the auto-routing thresholds (see Config.RoutePolicy).
+	RoutePolicy = route.Policy
 )
 
 // Value and comparison-operator re-exports, so callers can build predicates
@@ -205,6 +214,17 @@ type Config struct {
 	ScorePrecision string
 	// Cost selects the optimisation objective (default WorkloadCost).
 	Cost core.CostFunction
+	// Routing selects how queries are dispatched between the statistics-free
+	// greedy fast path and the full DNN-guided best-first search: "full" (or
+	// "", the historical default — every query takes the full search),
+	// "fastpath" (forced greedy) or "auto" (per-class heuristic bootstrap,
+	// refined online from observed-latency regret; see System.RouteStats).
+	// Open rejects unknown values.
+	Routing string
+	// RoutePolicy overrides the auto-routing thresholds (nil selects the
+	// defaults: fast path for chains/stars up to 8 joins, demotion after 8
+	// regret samples with mean observed/estimated latency above 1.5).
+	RoutePolicy *RoutePolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -436,6 +456,14 @@ func Open(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("neo: %w", err)
 	}
 	coreCfg.ScorePrecision = prec
+	mode, err := route.ParseMode(cfg.Routing)
+	if err != nil {
+		return nil, fmt.Errorf("neo: %w", err)
+	}
+	coreCfg.Routing = mode
+	if cfg.RoutePolicy != nil {
+		coreCfg.RoutePolicy = *cfg.RoutePolicy
+	}
 	n := core.New(eng, feat, coreCfg)
 
 	return &System{
@@ -598,6 +626,13 @@ func (s *System) FusionStats() FusionStats { return s.Neo.FusionStats() }
 // SnapshotInfo reports the current serving snapshot's scoring precision and
 // memory footprint (see Config.ScorePrecision). Safe for concurrent use.
 func (s *System) SnapshotInfo() SnapshotInfo { return s.Neo.SnapshotInfo() }
+
+// RouteStats reports the query router's per-class decision counters,
+// fast-path planning-latency percentiles and regret accounting (see
+// Config.Routing). Route counts track planning decisions: a query answered
+// from the plan cache skips routing entirely and is not counted. Safe for
+// concurrent use.
+func (s *System) RouteStats() RouteStats { return s.Neo.RouteStats() }
 
 // Evaluate optimizes and executes every query over the configured worker
 // pool without adding anything to the experience (held-out evaluation). It

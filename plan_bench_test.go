@@ -1,0 +1,24 @@
+package repro
+
+import (
+	"testing"
+
+	"neo/internal/bench"
+)
+
+// BenchmarkPlanRouting measures per-query planning latency for the two
+// routing targets over the same routed (pattern-shaped) workload queries:
+// the statistics-free greedy fast path against the full DNN-guided
+// best-first search. The committed BENCH_plan.json baseline and CI's
+// bench-gate enforce that the fast path's P50 stays >= 50x below the
+// search's — the architectural gap (no value-network inference, no
+// frontier) the query router trades plan quality headroom against.
+//
+// Verify the gap with:
+//
+//	go test -bench BenchmarkPlanRouting -run '^$' .
+func BenchmarkPlanRouting(b *testing.B) {
+	fastpathSide, bestfirst := bench.PlanningBenchmarks()
+	b.Run("fastpath", fastpathSide)
+	b.Run("bestfirst", bestfirst)
+}
