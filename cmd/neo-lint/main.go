@@ -1,0 +1,106 @@
+// Command neo-lint runs the repository's domain-specific static checks
+// (internal/analysis) over the module: deterministic map iteration in the
+// seeded-training packages, immutability of published network snapshots,
+// wall-clock and global-randomness hygiene on the simulation path, the
+// frozen little-endian wire format, and `// guarded by <mu>` mutex
+// discipline. Run from anywhere inside the module:
+//
+//	go run ./cmd/neo-lint ./...
+//	go run ./cmd/neo-lint -strict ./...          # also fail on stale suppressions
+//	go run ./cmd/neo-lint -checks detrange ./...  # subset of checks
+//	go run ./cmd/neo-lint -list                   # describe the checks
+//
+// A finding is waived per site with a `//neo:lint-ok <check> <reason>`
+// comment on (or directly above) the offending line; -strict turns
+// suppressions that no longer match any finding into errors, so waivers
+// cannot outlive the code they excused.
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neo/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("neo-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "also report suppression comments that no longer suppress anything")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range analysis.Checks() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	cfg := analysis.DefaultConfig()
+	cfg.Strict = *strict
+	if *checksFlag != "" {
+		known := make(map[string]bool)
+		for _, name := range analysis.CheckNames() {
+			known[name] = true
+		}
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(stderr, "neo-lint: unknown check %q (known: %s)\n", name, strings.Join(analysis.CheckNames(), ", "))
+				return 2
+			}
+			cfg.EnabledChecks = append(cfg.EnabledChecks, name)
+		}
+	}
+
+	// The only supported target shape today is the whole module: "./..." (or
+	// no argument at all). Anything else is rejected rather than silently
+	// half-analyzed — the checks are cross-package invariants.
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		if fs.Arg(0) != "./..." {
+			fmt.Fprintf(stderr, "neo-lint: only ./... (the whole module) is supported, got %q\n", fs.Arg(0))
+			return 2
+		}
+	default:
+		fmt.Fprintln(stderr, "neo-lint: at most one target (./...) is supported")
+		return 2
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "neo-lint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "neo-lint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(stderr, "neo-lint:", err)
+		return 2
+	}
+	findings := analysis.Run(cfg, pkgs)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "neo-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detrangeCheck flags ranging over a map in a determinism-critical package
+// when the loop body's effects depend on iteration order. Go randomizes map
+// iteration, so such a loop makes identically-seeded runs differ — the exact
+// class of bug PR 2 fixed twice (construction-state forests and stats
+// TopValues enumerated in map order, randomizing gradient accumulation and
+// expert plans per build).
+//
+// Order-dependent effects are: appending to anything declared outside the
+// loop (element order becomes iteration order), compound-assigning floats,
+// strings or complex values outside the loop (float addition does not
+// commute bitwise; concatenation does not commute at all), writing to an
+// index not keyed by the loop's own key variable, returning a non-constant
+// value from inside the loop (whichever element came up first wins), and
+// calling out to anything that is not provably order-insensitive. Copying
+// one map into another keyed by the range key, integer counting, boolean
+// flagging and deletes keyed by the range key stay silent: their result is
+// the same in every order.
+//
+// The fix is to iterate sorted keys (ranging over the sorted key slice no
+// longer triggers the check), or — for genuinely order-insensitive bodies
+// the heuristics cannot see through — a //neo:lint-ok detrange suppression
+// naming the reason.
+var detrangeCheck = &Check{
+	Name: "detrange",
+	Doc:  "map iteration with order-dependent effects in a determinism-critical package",
+	Run:  runDetrange,
+}
+
+func runDetrange(p *Pass) {
+	if !p.inDeterminismPkg() {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			ast.Inspect(fn.Body, func(m ast.Node) bool {
+				rng, ok := m.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Pkg.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if reason := orderDependentEffect(p, fn.Body, rng); reason != "" {
+					p.Reportf(rng.Pos(), "map iteration order is random and this loop %s; iterate sorted keys instead", reason)
+				}
+				return true
+			})
+			return false
+		})
+	}
+}
+
+// orderDependentEffect returns a description of the first order-dependent
+// effect found in the range body, or "" when every effect it can see is
+// order-insensitive. fnBody is the enclosing function body, consulted to
+// recognize the collect-then-sort idiom.
+func orderDependentEffect(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) string {
+	keyObj := rangeVarObj(p, rng.Key)
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is reported on its own; its body's effects
+			// are its problem, but they are also this loop's: keep walking.
+			return true
+		case *ast.AssignStmt:
+			if r := assignEffect(p, fnBody, rng, keyObj, st); r != "" {
+				reason = r
+				return false
+			}
+		case *ast.IncDecStmt:
+			if declaredOutside(p, rng, rootIdent(st.X)) && isOrderSensitiveScalar(p.typeOf(st.X)) {
+				reason = "increments " + exprString(st.X) + " declared outside it"
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if !isConstExpr(p, res) {
+					reason = "returns a non-constant value from inside the iteration"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if r := callEffect(p, rng, keyObj, st); r != "" {
+				reason = r
+				return false
+			}
+		case *ast.GoStmt, *ast.SendStmt:
+			reason = "spawns or communicates from inside the iteration"
+			return false
+		}
+		return true
+	})
+	return reason
+}
+
+// typeOf is a nil-tolerant Info.Types lookup.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// rangeVarObj resolves the key or value variable of a range statement.
+func rangeVarObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// assignEffect classifies one assignment inside the range body.
+func assignEffect(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, keyObj types.Object, st *ast.AssignStmt) string {
+	// Compound assignment to something declared outside the loop is a
+	// reduction; only bitwise-commutative element types are order-safe.
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range st.Lhs {
+			if declaredOutside(p, rng, rootIdent(lhs)) && isOrderSensitiveScalar(p.typeOf(lhs)) {
+				return "accumulates into " + exprString(lhs) + " declared outside it"
+			}
+		}
+		return ""
+	case token.ASSIGN:
+	default: // := defines loop-local state; &=, |= etc. are commutative
+		return ""
+	}
+	for i, lhs := range st.Lhs {
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			// m[k] = v keyed by the loop's own key writes disjoint cells —
+			// order-free. Any other index makes the last iteration win.
+			if declaredOutside(p, rng, rootIdent(l.X)) && !isRangeKey(p, keyObj, l.Index) {
+				return "writes " + exprString(l.X) + "[...] with an index that is not the range key"
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			if id, ok := l.(*ast.Ident); ok && id.Name == "_" {
+				continue // discarding a value has no effect at all
+			}
+			if !declaredOutside(p, rng, rootIdent(l)) {
+				continue
+			}
+			// Plain overwrite of an outer variable: last iteration wins,
+			// unless the assigned value ignores the iteration entirely.
+			if i < len(st.Rhs) && dependsOnIteration(p, rng, st.Rhs[i]) {
+				if call, ok := st.Rhs[i].(*ast.CallExpr); ok && isAppendTo(call, l) {
+					// The canonical collect-then-sort idiom: appending in map
+					// order is fine when the slice is sorted before use.
+					if sortedAfterLoop(p, fnBody, rng, l) {
+						continue
+					}
+					return "appends to " + exprString(l) + " declared outside it"
+				}
+				return "overwrites " + exprString(l) + " with an iteration-dependent value (last iteration wins)"
+			}
+		}
+	}
+	return ""
+}
+
+// callEffect classifies one call inside the range body: anything with
+// side effects the check cannot see through is treated as order-dependent.
+func callEffect(p *Pass, rng *ast.RangeStmt, keyObj types.Object, call *ast.CallExpr) string {
+	// Type conversions are pure.
+	if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return ""
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[fn]; obj != nil {
+			if b, ok := obj.(*types.Builtin); ok {
+				return builtinEffect(p, rng, keyObj, b.Name(), call)
+			}
+			if _, ok := obj.(*types.TypeName); ok {
+				return ""
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel := p.Pkg.Info.Selections[fn]; sel == nil {
+			// Package-qualified call: allow the provably order-insensitive
+			// standard helpers.
+			if pkgName, ok := fn.X.(*ast.Ident); ok {
+				if obj, ok := p.Pkg.Info.Uses[pkgName].(*types.PkgName); ok {
+					switch obj.Imported().Path() {
+					case "math", "strings", "strconv", "unicode", "errors":
+						return ""
+					case "fmt":
+						if fn.Sel.Name == "Sprintf" || fn.Sel.Name == "Errorf" || fn.Sel.Name == "Sprint" {
+							return ""
+						}
+					}
+				}
+			}
+		}
+	}
+	return "calls out (" + exprString(call.Fun) + "), whose effects may observe iteration order"
+}
+
+// builtinEffect classifies a builtin call. append is handled at the
+// assignment it feeds; a bare append call (result discarded) is pointless
+// but harmless. delete keyed by the range key is the idiomatic
+// delete-while-iterating pattern and is order-free; any other delete
+// depends on what was already removed.
+func builtinEffect(p *Pass, rng *ast.RangeStmt, keyObj types.Object, name string, call *ast.CallExpr) string {
+	switch name {
+	case "delete":
+		if len(call.Args) == 2 && !isRangeKey(p, keyObj, call.Args[1]) {
+			return "deletes a key other than the range key mid-iteration"
+		}
+	case "print", "println":
+		return "prints from inside the iteration"
+	}
+	return ""
+}
+
+// isAppendTo reports whether call is append(dst, ...) growing dst.
+func isAppendTo(call *ast.CallExpr, dst ast.Expr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	return exprString(call.Args[0]) == exprString(dst)
+}
+
+// sortedAfterLoop reports whether the enclosing function sorts the given
+// slice after the range loop ends: a call to any sort.* or slices.* helper
+// whose first argument is the same expression, positioned after the loop.
+// That is the canonical deterministic-iteration idiom — collect the keys in
+// whatever order the map yields them, then impose a total order — and it
+// must not be flagged, or the check would reject its own advice.
+func sortedAfterLoop(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+	if fnBody == nil {
+		return false
+	}
+	want := exprString(target)
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Pkg.Info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+			if exprString(call.Args[0]) == want {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isRangeKey reports whether e is exactly the loop's key variable.
+func isRangeKey(p *Pass, keyObj types.Object, e ast.Expr) bool {
+	if keyObj == nil {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return p.Pkg.Info.Uses[id] == keyObj || p.Pkg.Info.Defs[id] == keyObj
+}
+
+// rootIdent returns the base identifier of an lvalue chain (x, x.f, x[i].g).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the range statement (package scope, an enclosing function, or an
+// enclosing block). Identifiers the checker cannot resolve are treated as
+// outside — the conservative direction.
+func declaredOutside(p *Pass, rng *ast.RangeStmt, id *ast.Ident) bool {
+	if id == nil {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = p.Pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		return true
+	}
+	return pos < rng.Pos() || pos > rng.End()
+}
+
+// dependsOnIteration reports whether the expression mentions the loop's key
+// or value variable (directly or through any sub-expression).
+func dependsOnIteration(p *Pass, rng *ast.RangeStmt, e ast.Expr) bool {
+	depends := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || depends {
+			return !depends
+		}
+		if obj := p.Pkg.Info.Uses[id]; obj != nil && obj.Pos().IsValid() &&
+			obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			depends = true
+			return false
+		}
+		return true
+	})
+	return depends
+}
+
+// isConstExpr reports whether the expression is a compile-time constant.
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isOrderSensitiveScalar reports whether compound assignment on the type is
+// sensitive to operand order at the bit level: floats (rounding), complex,
+// and strings (concatenation). Integer addition is exact and commutative.
+func isOrderSensitiveScalar(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return true
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0, b.Info()&types.IsComplex != 0, b.Info()&types.IsString != 0:
+		return true
+	}
+	return false
+}

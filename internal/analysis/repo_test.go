@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+// TestRepositoryLintsCleanInStrictMode is the machine-checked form of the
+// repo's invariants: every package must pass every check, and every
+// //neo:lint-ok suppression must still be earning its keep. CI runs the
+// same thing via `go run ./cmd/neo-lint -strict ./...`; having it as a test
+// too means a plain `go test ./...` catches a violation before push.
+func TestRepositoryLintsCleanInStrictMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := getLoader(t).LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("LoadAll found only %d packages; the walker is dropping the tree", len(pkgs))
+	}
+	cfg := DefaultConfig()
+	cfg.Strict = true
+	for _, f := range Run(cfg, pkgs) {
+		t.Errorf("%s", f)
+	}
+}

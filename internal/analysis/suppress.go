@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppressionPrefix is the comment marker that waives one finding of one
+// check at one site. The full form is:
+//
+//	//neo:lint-ok <check> <reason>
+//
+// either trailing on the offending line or as a full-line comment on the
+// line directly above it. The reason is mandatory — an allowlist entry
+// without a recorded justification is how allowlists rot — and in strict
+// mode a suppression that no longer matches any finding is itself an error.
+const suppressionPrefix = "neo:lint-ok"
+
+// suppression is one parsed //neo:lint-ok comment.
+type suppression struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+// suppressions indexes a package's suppression comments by file and line.
+type suppressions struct {
+	// byLine maps filename -> line -> suppressions whose coverage includes
+	// that line (a comment covers its own line and the line below it).
+	byLine map[string]map[int][]*suppression
+	all    []*suppression
+}
+
+// collectSuppressions parses every comment of the package, returning the
+// index plus driver-level findings for malformed suppressions (missing
+// check name, unknown check name, or missing reason).
+func collectSuppressions(pkg *Package) (*suppressions, []Finding) {
+	known := make(map[string]bool)
+	for _, name := range CheckNames() {
+		known[name] = true
+	}
+	sup := &suppressions{byLine: make(map[string]map[int][]*suppression)}
+	var malformed []Finding
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+suppressionPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					malformed = append(malformed, Finding{Pos: pos, Check: "lint",
+						Message: "malformed suppression: want //neo:lint-ok <check> <reason>"})
+					continue
+				case !known[fields[0]]:
+					malformed = append(malformed, Finding{Pos: pos, Check: "lint",
+						Message: "malformed suppression: unknown check " + strings.Trim(fields[0], `"`) +
+							" (known: " + strings.Join(CheckNames(), ", ") + ")"})
+					continue
+				case len(fields) < 2:
+					malformed = append(malformed, Finding{Pos: pos, Check: "lint",
+						Message: "suppression for " + fields[0] + " is missing its reason"})
+					continue
+				}
+				s := &suppression{pos: pos, check: fields[0], reason: strings.Join(fields[1:], " ")}
+				sup.all = append(sup.all, s)
+				lines := sup.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*suppression)
+					sup.byLine[pos.Filename] = lines
+				}
+				// A trailing comment covers its own line; a full-line comment
+				// covers the next. Registering both keeps the matcher a map
+				// lookup and cannot misfire: a finding on the comment's own
+				// line can only come from code left of a trailing comment.
+				lines[pos.Line] = append(lines[pos.Line], s)
+				lines[pos.Line+1] = append(lines[pos.Line+1], s)
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// suppressed reports whether a finding of the named check at position is
+// covered by a suppression, marking the suppression used.
+func (s *suppressions) suppressed(check string, pos token.Position) bool {
+	for _, cand := range s.byLine[pos.Filename][pos.Line] {
+		if cand.check == check {
+			cand.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// stale returns one finding per suppression that never matched a finding.
+// When only a subset of checks ran (enabled non-nil), suppressions for the
+// checks that did not run are exempt — they had no chance to be used.
+func (s *suppressions) stale(enabled []string) []Finding {
+	ran := make(map[string]bool)
+	if enabled == nil {
+		for _, name := range CheckNames() {
+			ran[name] = true
+		}
+	} else {
+		for _, name := range enabled {
+			ran[name] = true
+		}
+	}
+	var out []Finding
+	for _, sup := range s.all {
+		if !sup.used && ran[sup.check] {
+			out = append(out, Finding{Pos: sup.pos, Check: "lint",
+				Message: "stale suppression: no " + sup.check + " finding here (drop the //neo:lint-ok)"})
+		}
+	}
+	return out
+}

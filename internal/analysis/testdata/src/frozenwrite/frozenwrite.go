@@ -1,0 +1,62 @@
+// Package frozenwrite is a neo-lint self-test fixture. Snapshot stands in
+// for the repo's frozen snapshot types; fixtures_test.go configures it as
+// frozen with build and Network.Publish as the designated writers.
+package frozenwrite
+
+type Snapshot struct {
+	Version int
+	Weights []float32
+}
+
+type holder struct {
+	snap *Snapshot
+}
+
+type Network struct {
+	cur *Snapshot
+}
+
+func mutateField(s *Snapshot) {
+	s.Version = 2 // want "mutates frozen type"
+}
+
+func mutateElem(s *Snapshot) {
+	s.Weights[0] = 1 // want "mutates frozen type"
+}
+
+func mutateThroughChain(h holder) {
+	h.snap.Version = 3 // want "mutates frozen type"
+}
+
+func overwriteWhole(s *Snapshot) {
+	*s = Snapshot{} // want "mutates frozen type"
+}
+
+func (n *Network) Swap(s *Snapshot) {
+	n.cur.Version++ // want "mutates frozen type"
+	n.cur = s       // swapping the pointer itself is fine: no finding
+}
+
+func (n *Network) Publish(s *Snapshot) {
+	n.cur = s
+	n.cur.Version = 7 // designated writer (FrozenAllow): no finding
+}
+
+func rebind(s, other *Snapshot) *Snapshot {
+	s = other // rebinding a variable is not mutation: no finding
+	return s
+}
+
+func construct(version int) *Snapshot {
+	return &Snapshot{Version: version} // composite literal is construction
+}
+
+func build() *Snapshot {
+	s := &Snapshot{}
+	s.Version = 1 // designated constructor (FrozenAllow): no finding
+	return s
+}
+
+func suppressedWrite(s *Snapshot) {
+	s.Version = 9 //neo:lint-ok frozenwrite fixture demonstrates a reviewed in-place patch
+}

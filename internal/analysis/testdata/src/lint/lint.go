@@ -1,0 +1,19 @@
+// Package lint is a neo-lint self-test fixture for driver-level findings:
+// malformed and stale suppression comments. Expectations live in
+// fixtures_test.go rather than `// want` comments, because the suppression
+// comment itself is the finding site and extra marker text inside it would
+// change what is being tested.
+package lint
+
+func missingReason() int {
+	return 1 //neo:lint-ok detrange
+}
+
+func unknownCheck() int {
+	return 2 //neo:lint-ok nosuchcheck the check name does not exist
+}
+
+func staleSuppression() int {
+	//neo:lint-ok walltime nothing on the next line reads the clock
+	return 3
+}

@@ -1,0 +1,48 @@
+// Package walltime is a neo-lint self-test fixture, configured by
+// fixtures_test.go as determinism-critical.
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sim struct {
+	rng *rand.Rand // naming the type is not an effect: no finding
+}
+
+func now() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global"
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // owned, seeded source is the fix: no finding
+}
+
+func (s *sim) draw() float64 {
+	return s.rng.Float64() // method on an owned *rand.Rand: no finding
+}
+
+func round(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) // duration constants are pure: no finding
+}
+
+func measured() time.Duration {
+	start := time.Now() //neo:lint-ok walltime fixture measures real elapsed time
+	work()
+	return time.Since(start) //neo:lint-ok walltime fixture measures real elapsed time
+}
+
+func work() {}

@@ -1,0 +1,13 @@
+// Package wire is the designated wire package of the wireendian fixture:
+// little-endian primitives are its job, but big-endian is banned even here.
+package wire
+
+import "encoding/binary"
+
+func PutU32(b []byte, v uint32) {
+	binary.LittleEndian.PutUint32(b, v) // the wire package owns little-endian: no finding
+}
+
+func badBig(b []byte) uint32 {
+	return binary.BigEndian.Uint32(b) // want "binary.BigEndian breaks the frozen little-endian"
+}

@@ -1,0 +1,25 @@
+// Package wireendian is a neo-lint self-test fixture: a package that is NOT
+// the designated wire package (its child directory wire is).
+package wireendian
+
+import "encoding/binary"
+
+func putBig(b []byte, v uint32) {
+	binary.BigEndian.PutUint32(b, v) // want "binary.BigEndian breaks the frozen little-endian"
+}
+
+func putNative(b []byte, v uint64) {
+	binary.NativeEndian.PutUint64(b, v) // want "binary.NativeEndian breaks the frozen little-endian"
+}
+
+func putLittleOutside(b []byte, v uint32) {
+	binary.LittleEndian.PutUint32(b, v) // want "raw encoding/binary use outside"
+}
+
+func declare(bo binary.ByteOrder) binary.ByteOrder {
+	return bo // naming the interface type: no finding
+}
+
+func suppressedPut(b []byte, v uint16) {
+	binary.LittleEndian.PutUint16(b, v) //neo:lint-ok wireendian fixture predates the wire helpers
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprString renders an expression for finding messages.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"neo/internal/plan"
@@ -23,9 +24,9 @@ type Entry struct {
 // Experience is the set of executed plans Neo learns from (E in the paper).
 type Experience struct {
 	mu      sync.RWMutex
-	entries []Entry
-	byQuery map[string][]int
-	best    map[string]float64 // best latency seen per query
+	entries []Entry            // guarded by mu
+	byQuery map[string][]int   // guarded by mu
+	best    map[string]float64 // best latency seen per query; guarded by mu
 }
 
 // NewExperience creates an empty experience store.
@@ -122,7 +123,10 @@ func (e *Experience) BestLatency(id string) (float64, bool) {
 	return v, ok
 }
 
-// Queries returns the distinct query IDs present in the experience.
+// Queries returns the distinct query IDs present in the experience, in
+// sorted order. The order matters: callers iterate the result to build
+// training sets and retraining schedules, and map iteration order would
+// make identically-seeded runs diverge.
 func (e *Experience) Queries() []string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -130,6 +134,7 @@ func (e *Experience) Queries() []string {
 	for id := range e.byQuery {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 

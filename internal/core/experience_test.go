@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"neo/internal/plan"
+	"neo/internal/query"
+)
+
+// TestQueriesSortedOrder is the regression test for the map-iteration bug
+// neo-lint's detrange check found here: Queries() used to return IDs in map
+// iteration order, which Go randomizes per run, so two identically-seeded
+// processes walking the result built their training sets in different
+// orders. With 40 distinct IDs the chance of a random permutation coming
+// out sorted is 1/40!, so this fails immediately if the sort is dropped.
+func TestQueriesSortedOrder(t *testing.T) {
+	e := NewExperience()
+	// Insert in a deliberately non-sorted order.
+	for _, i := range []int{17, 3, 39, 0, 25, 8, 31, 12, 36, 5, 21, 28, 1,
+		14, 33, 9, 19, 38, 6, 24, 11, 30, 2, 16, 35, 7, 22, 27, 4, 13, 37,
+		10, 20, 29, 15, 34, 18, 26, 23, 32} {
+		id := fmt.Sprintf("q%02d", i)
+		q := query.New(id, []string{"title"}, nil, nil)
+		p := &plan.Plan{Query: q, Roots: []*plan.Node{plan.Leaf("title", plan.TableScan)}}
+		e.Add(q, p, float64(100+i))
+	}
+	got := e.Queries()
+	if len(got) != 40 {
+		t.Fatalf("Queries returned %d IDs, want 40", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Queries() not sorted: %v", got)
+	}
+	// Two calls must agree element-for-element, not just as sets.
+	again := e.Queries()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("Queries() unstable at %d: %q vs %q", i, got[i], again[i])
+		}
+	}
+}

@@ -155,12 +155,12 @@ type Engine struct {
 	Backend ExecutionBackend
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 	// executions counts how many plans the engine has executed; used for
 	// wall-clock accounting in the training-time experiment.
-	executions int
+	executions int // guarded by mu
 	// simulatedMS accumulates total (simulated or measured) execution time.
-	simulatedMS float64
+	simulatedMS float64 // guarded by mu
 }
 
 // New creates an engine with the given profile over the given in-memory

@@ -346,7 +346,7 @@ type TrueCardinality struct {
 		Count(q *query.Query) (float64, error)
 	}
 	mu    sync.Mutex
-	cache map[string]float64
+	cache map[string]float64 // guarded by mu
 }
 
 // NodeCardinality implements CardinalitySource. Safe for concurrent use

@@ -200,7 +200,7 @@ type Router struct {
 	pol  Policy
 
 	mu      sync.Mutex
-	classes map[string]*classState
+	classes map[string]*classState // guarded by mu
 }
 
 type classState struct {
@@ -220,7 +220,9 @@ func New(mode Mode, pol Policy) *Router {
 // Mode returns the router's configured mode.
 func (r *Router) Mode() Mode { return r.mode }
 
-func (r *Router) class(key string) *classState {
+// classLocked returns (creating if needed) the state for one class key.
+// Callers must hold r.mu.
+func (r *Router) classLocked(key string) *classState {
 	st := r.classes[key]
 	if st == nil {
 		st = &classState{}
@@ -237,7 +239,7 @@ func (r *Router) Decide(q *query.Query) Decision {
 	d := Decision{Class: c.Key()}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := r.class(d.Class)
+	st := r.classLocked(d.Class)
 	switch {
 	case r.mode == Fastpath:
 		d.Fastpath = true
@@ -278,7 +280,7 @@ func (r *Router) heuristic(c Class) bool {
 func (r *Router) RecordFastpathLatency(class string, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.class(class).hist.observe(d)
+	r.classLocked(class).hist.observe(d)
 }
 
 // NeedsOutcome reports whether an executed query of this class should be
@@ -311,7 +313,7 @@ func (r *Router) RecordOutcome(class string, observed, estimate float64) {
 	ratio := observed / estimate
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := r.class(class)
+	st := r.classLocked(class)
 	st.regretSum += ratio
 	st.regretN++
 	if r.mode == Auto && !st.demoted &&

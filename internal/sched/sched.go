@@ -186,14 +186,14 @@ type Scheduler struct {
 	lastCompanion atomic.Int64
 
 	mu          sync.Mutex
-	closed      bool
-	pending     []*submission
-	pendingRows int
+	closed      bool          // guarded by mu
+	pending     []*submission // guarded by mu
+	pendingRows int           // guarded by mu
 
 	// cache memoises row scores for the backend's lifetime. cacheCap <= 0
 	// disables it.
 	cacheMu  sync.Mutex
-	cache    map[rowKey]float64
+	cache    map[rowKey]float64 // guarded by cacheMu
 	cacheCap int
 }
 

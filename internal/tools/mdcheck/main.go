@@ -12,11 +12,12 @@ package main
 
 import (
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"neo/internal/tools/walk"
 )
 
 // linkRE matches inline markdown links and images: [text](target) /
@@ -28,62 +29,69 @@ var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
 // examples, not references.
 var codeFenceRE = regexp.MustCompile("^\\s*```")
 
+// check walks every .md file under root (via the shared repo walker, so
+// .git, testdata and dot-directories are excluded) and returns one message
+// per broken relative link plus the number of links it resolved.
+func check(root string) (broken []string, checked int, err error) {
+	files, err := walk.Files(root, ".md")
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		b, c := checkFile(path, string(data))
+		broken = append(broken, b...)
+		checked += c
+	}
+	return broken, checked, nil
+}
+
+// checkFile scans one markdown document for broken relative links. Targets
+// are resolved against the document's own directory, exactly as a markdown
+// renderer would.
+func checkFile(path, content string) (broken []string, checked int) {
+	inFence := false
+	for lineNo, line := range strings.Split(content, "\n") {
+		if codeFenceRE.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			checked++
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (resolved %s)",
+					path, lineNo+1, m[1], resolved))
+			}
+		}
+	}
+	return broken, checked
+}
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
-	var broken []string
-	checked := 0
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if d.Name() == ".git" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(d.Name(), ".md") {
-			return nil
-		}
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		inFence := false
-		for lineNo, line := range strings.Split(string(data), "\n") {
-			if codeFenceRE.MatchString(line) {
-				inFence = !inFence
-				continue
-			}
-			if inFence {
-				continue
-			}
-			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
-				target := m[1]
-				if strings.Contains(target, "://") ||
-					strings.HasPrefix(target, "mailto:") ||
-					strings.HasPrefix(target, "#") {
-					continue
-				}
-				if i := strings.IndexByte(target, '#'); i >= 0 {
-					target = target[:i]
-				}
-				if target == "" {
-					continue
-				}
-				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
-				checked++
-				if _, err := os.Stat(resolved); err != nil {
-					broken = append(broken, fmt.Sprintf("%s:%d: broken link %q (resolved %s)",
-						path, lineNo+1, m[1], resolved))
-				}
-			}
-		}
-		return nil
-	})
+	broken, checked, err := check(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdcheck:", err)
 		os.Exit(2)

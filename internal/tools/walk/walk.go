@@ -1,0 +1,80 @@
+// Package walk is the repository tools' shared file walker. mdcheck and
+// neo-lint both need "every file of kind X under the repo root" with the
+// same exclusions — version-control internals, per-package test fixtures —
+// and a deterministic order, so CI output is stable across runs and
+// machines. Keeping the walk in one place means the two tools can never
+// disagree about what "the repo" is.
+package walk
+
+import (
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// skipDir reports whether a directory's contents are outside the
+// repository's own sources: VCS internals, editor/tool dot-directories,
+// underscore-prefixed directories (ignored by the go tool) and testdata
+// trees (per-package fixtures, which analysis tools load explicitly when
+// they want them).
+func skipDir(name string) bool {
+	if name == "testdata" {
+		return true
+	}
+	if strings.HasPrefix(name, "_") {
+		return true
+	}
+	return strings.HasPrefix(name, ".") && name != "." && name != ".."
+}
+
+// Files returns every file under root whose name ends in suffix, in sorted
+// order. Directories named testdata, directories starting with "." (except
+// root itself) and directories starting with "_" are skipped entirely.
+func Files(root, suffix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), suffix) {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// GoPackageDirs returns every directory under root that contains at least
+// one non-test .go file, in sorted order, with the same exclusions as
+// Files. This is the "./..." a source-loading analyzer expands to.
+func GoPackageDirs(root string) ([]string, error) {
+	files, err := Files(root, ".go")
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		dir := filepath.Dir(f)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,93 @@
+package walk
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func mkTree(t *testing.T, paths ...string) string {
+	t.Helper()
+	root := t.TempDir()
+	for _, rel := range paths {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func rel(t *testing.T, root string, paths []string) []string {
+	t.Helper()
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		r, err := filepath.Rel(root, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = filepath.ToSlash(r)
+	}
+	return out
+}
+
+func TestFilesFiltersAndSorts(t *testing.T) {
+	root := mkTree(t,
+		"b.go", "a.go", "note.md",
+		"pkg/c.go", "pkg/doc.md",
+		".git/hidden.go", ".idea/x.go",
+		"_skip/y.go",
+		"pkg/testdata/fixture.go",
+	)
+	got, err := Files(root, ".go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.go", "b.go", "pkg/c.go"}
+	if !reflect.DeepEqual(rel(t, root, got), want) {
+		t.Fatalf("Files = %v, want %v", rel(t, root, got), want)
+	}
+}
+
+func TestFilesHiddenRootIsWalked(t *testing.T) {
+	// A root that itself starts with "." (common for temp dirs or explicit
+	// invocations like `mdcheck .`) must not be skipped — only hidden
+	// subdirectories are excluded.
+	parent := t.TempDir()
+	root := filepath.Join(parent, ".hiddenroot")
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "f.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Files(root, ".md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("Files under hidden root = %v, want the one file", got)
+	}
+}
+
+func TestGoPackageDirs(t *testing.T) {
+	root := mkTree(t,
+		"main.go",
+		"internal/a/a.go", "internal/a/a_test.go",
+		"internal/onlytests/x_test.go", // test-only dir: not a load target
+		"internal/b/sub/s.go",
+		"docs/readme.md",
+	)
+	got, err := GoPackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{".", "internal/a", "internal/b/sub"}
+	if !reflect.DeepEqual(rel(t, root, got), want) {
+		t.Fatalf("GoPackageDirs = %v, want %v", rel(t, root, got), want)
+	}
+}
